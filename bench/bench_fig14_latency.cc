@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces Figure 14: average end-to-end latency of interaction flows
+ * (button click → resource operation → UI update) for three
+ * representative apps whose flow crosses a leased resource, with and
+ * without the lease service.
+ *
+ * Paper shape: sensor app ~57.1 vs 57.6 ms; wakelock app ~2207 vs
+ * 2215 ms; GPS app ~2785 vs 2788 ms — lease overhead is invisible
+ * because lease operations run off the app's critical path.
+ */
+
+#include <iostream>
+
+#include "apps/synthetic/synthetic_apps.h"
+#include "harness/device.h"
+#include "harness/figure.h"
+#include "harness/table.h"
+
+using namespace leaseos;
+using sim::operator""_s;
+using sim::operator""_min;
+
+namespace {
+
+double
+measureFlavor(apps::InteractionFlowApp::Flavor flavor, bool leased,
+              int flows = 20)
+{
+    harness::DeviceConfig cfg;
+    cfg.mode = leased ? harness::MitigationMode::LeaseOS
+                      : harness::MitigationMode::None;
+    harness::Device device(cfg);
+    // The user is interacting: screen on, so flows run at full speed.
+    device.server().displayManager().userSetScreen(true);
+    auto &app = device.install<apps::InteractionFlowApp>(flavor);
+    device.start();
+    device.runFor(30_s); // let GPS warm up for the hot-fix flow
+
+    for (int i = 0; i < flows; ++i) {
+        app.runFlow(nullptr);
+        device.runFor(10_s);
+    }
+    return app.latencies().mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << harness::figureHeader(
+        "Figure 14",
+        "Average end-to-end interaction latency (ms) for three "
+        "representative apps, with vs without leases (20 flows each). "
+        "Paper: differences are sub-millisecond to a few ms.");
+
+    harness::TextTable table({"App", "w/o lease (ms)", "with lease (ms)",
+                              "delta (ms)"});
+    const struct {
+        apps::InteractionFlowApp::Flavor flavor;
+        const char *label;
+    } flavors[] = {
+        {apps::InteractionFlowApp::Flavor::Sensor, "Sensor app"},
+        {apps::InteractionFlowApp::Flavor::Wakelock, "Wakelock app"},
+        {apps::InteractionFlowApp::Flavor::Gps, "GPS app"},
+    };
+
+    for (const auto &f : flavors) {
+        double vanilla = measureFlavor(f.flavor, false);
+        double leased = measureFlavor(f.flavor, true);
+        table.addRow({f.label, harness::TextTable::fmt(vanilla, 1),
+                      harness::TextTable::fmt(leased, 1),
+                      harness::TextTable::fmt(leased - vanilla, 2)});
+    }
+    std::cout << table.toString();
+    std::cout << "\nLease operations (create/renew checks) happen on the "
+                 "system server, not inside the interaction flow.\n";
+    return 0;
+}

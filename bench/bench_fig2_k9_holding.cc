@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Reproduces Figure 2: buggy K-9 mail's wakelock holding time and CPU
+ * usage per 60 s in a *connected* environment with a *bad mail server*,
+ * and the §2.3 observation that absolute holding time varies ~2x across
+ * phones (Moto G vs Nexus 6) while the ultralow utilisation signature is
+ * invariant.
+ */
+
+#include <iostream>
+
+#include "apps/buggy/k9_mail.h"
+#include "harness/device.h"
+#include "harness/figure.h"
+#include "harness/metrics.h"
+#include "harness/table.h"
+
+using namespace leaseos;
+using sim::operator""_s;
+using sim::operator""_min;
+
+namespace {
+
+struct PhoneRun {
+    double meanHold = 0.0;
+    double meanCpu = 0.0;
+    std::string figure;
+};
+
+PhoneRun
+runOn(const power::DeviceProfile &profile)
+{
+    harness::DeviceConfig cfg;
+    cfg.profile = profile;
+    harness::Device device(cfg);
+    // A flaky mail server: heavily-used ecosystems (higher load factor)
+    // see more contention, i.e. more failed sync attempts (§2.3's source
+    // of the ~2x cross-phone holding variance).
+    device.network().setServerFailProbability(
+        apps::K9Mail::kServer, 0.3 + 0.3 * profile.ecosystemLoad);
+
+    auto &app = device.install<apps::K9Mail>();
+    Uid uid = app.uid();
+    auto &pms = device.server().powerManager();
+    auto &cpu = device.cpu();
+
+    harness::MetricsSampler sampler(device.simulator(), 60_s);
+    sampler.addDeltaGauge("wakelock_holding_s",
+                          [&] { return pms.heldSeconds(uid); });
+    sampler.addDeltaGauge("cpu_usage_s",
+                          [&] { return cpu.cpuSeconds(uid); });
+    sampler.start();
+
+    device.start();
+    device.runFor(60_min);
+
+    PhoneRun result;
+    result.meanHold = sampler.series("wakelock_holding_s").mean();
+    result.meanCpu = sampler.series("cpu_usage_s").mean();
+    result.figure = harness::seriesFigure(
+        {&sampler.series("wakelock_holding_s"),
+         &sampler.series("cpu_usage_s")});
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << harness::figureHeader(
+        "Figure 2",
+        "Buggy K-9 mail, connected environment with a bad mail server: "
+        "long wakelock holds with CPU usage near zero (ultralow "
+        "utilisation). Moto G vs Nexus 6 differ ~2x in absolute holding.");
+
+    PhoneRun moto = runOn(power::profiles::motoG());
+    std::cout << "--- Moto G ---\n" << moto.figure << "\n";
+    PhoneRun nexus = runOn(power::profiles::nexus6());
+    std::cout << "--- Nexus 6 ---\n" << nexus.figure << "\n";
+
+    harness::TextTable summary(
+        {"Phone", "mean hold (s/60s)", "mean CPU (s/60s)",
+         "utilisation"});
+    summary.addRow({"Moto G", harness::TextTable::fmt(moto.meanHold),
+                    harness::TextTable::fmt(moto.meanCpu, 3),
+                    harness::TextTable::pct(
+                        100.0 * moto.meanCpu / moto.meanHold)});
+    summary.addRow({"Nexus 6", harness::TextTable::fmt(nexus.meanHold),
+                    harness::TextTable::fmt(nexus.meanCpu, 3),
+                    harness::TextTable::pct(
+                        100.0 * nexus.meanCpu / nexus.meanHold)});
+    std::cout << summary.toString();
+    std::cout << "\ncross-phone holding-time ratio (Moto/Nexus): "
+              << moto.meanHold / nexus.meanHold
+              << " (paper: ~2x variance; utilisation <1% on both)\n";
+    return 0;
+}

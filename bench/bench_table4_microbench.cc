@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Reproduces Table 4: average latency of major lease operations, from the
+ * test app that acquires and releases different resources 20 times. Two
+ * parts:
+ *  1. the modelled operation latencies the simulated system charges
+ *     (create / check-accept / check-reject / update), compared with a
+ *     plain resource-acquire IPC without leases (~2 ms);
+ *  2. a google-benchmark measurement of this implementation's actual
+ *     lease-manager hot paths (create+remove / check / term update) in
+ *     wall-clock nanoseconds.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "apps/synthetic/synthetic_apps.h"
+#include "harness/device.h"
+#include "harness/figure.h"
+#include "harness/table.h"
+
+using namespace leaseos;
+using sim::operator""_s;
+using sim::operator""_min;
+
+namespace {
+
+void
+printModeledLatencies()
+{
+    std::cout << harness::figureHeader(
+        "Table 4",
+        "Average latency of major lease operations (ms). Paper: create "
+        "0.357, check(acc) 0.498, check(rej) 0.388, update 4.79; plain "
+        "resource-acquire IPC without lease ~2 ms.");
+
+    // Exercise the paths with the paper's micro-bench app so the numbers
+    // below are the ones actually charged during a run.
+    harness::DeviceConfig cfg;
+    cfg.mode = harness::MitigationMode::LeaseOS;
+    harness::Device device(cfg);
+    // The test app is driven interactively: screen on, device awake.
+    device.server().displayManager().userSetScreen(true);
+    auto &app = device.install<apps::MicrobenchApp>(20);
+    device.start();
+    device.runFor(1_min);
+
+    harness::TextTable table({"Operation", "Latency (ms)"});
+    table.addRow({"Create",
+                  harness::TextTable::fmt(
+                      lease::LeaseManagerService::kCreateLatency.micros() /
+                          1000.0,
+                      3)});
+    table.addRow(
+        {"Check (Acc)",
+         harness::TextTable::fmt(
+             lease::LeaseManagerService::kCheckAcceptLatency.micros() /
+                 1000.0,
+             3)});
+    table.addRow(
+        {"Check (Rej)",
+         harness::TextTable::fmt(
+             lease::LeaseManagerService::kCheckRejectLatency.micros() /
+                 1000.0,
+             3)});
+    table.addRow({"Update",
+                  harness::TextTable::fmt(
+                      lease::LeaseManagerService::kUpdateLatency.micros() /
+                          1000.0,
+                      3)});
+    table.addSeparator();
+    table.addRow({"resource acquire IPC (no lease)",
+                  harness::TextTable::fmt(
+                      os::kResourceIpcLatency.micros() / 1000.0, 3)});
+    std::cout << table.toString();
+    std::cout << "\nmicro-bench app completed rounds: "
+              << app.completedRounds() << " x 4 resources; leases created: "
+              << device.leaseos()->manager().totalCreated() << "\n"
+              << "Lease ops run on the system side and are not on app "
+                 "critical paths most of the time (§7.2).\n\n"
+              << "google-benchmark of this implementation's hot paths "
+                 "(wall clock):\n";
+}
+
+// ---- google-benchmark of the real implementation --------------------------
+
+struct BenchWorld {
+    harness::Device device{[] {
+        harness::DeviceConfig cfg;
+        cfg.mode = harness::MitigationMode::LeaseOS;
+        return cfg;
+    }()};
+};
+
+void
+BM_LeaseCreateRemove(benchmark::State &state)
+{
+    BenchWorld world;
+    auto &mgr = world.device.leaseos()->manager();
+    os::TokenId token = 1000000;
+    for (auto _ : state) {
+        lease::LeaseId id = mgr.create(lease::ResourceType::Wakelock,
+                                       ++token, kFirstAppUid);
+        mgr.remove(id);
+    }
+}
+BENCHMARK(BM_LeaseCreateRemove);
+
+void
+BM_LeaseCheck(benchmark::State &state)
+{
+    BenchWorld world;
+    auto &mgr = world.device.leaseos()->manager();
+    lease::LeaseId id =
+        mgr.create(lease::ResourceType::Wakelock, 999999, kFirstAppUid);
+    for (auto _ : state) benchmark::DoNotOptimize(mgr.check(id));
+}
+BENCHMARK(BM_LeaseCheck);
+
+void
+BM_TermUpdateCycle(benchmark::State &state)
+{
+    // Drive full term-check cycles (collect stats + classify + decide)
+    // through simulated time with a held wakelock.
+    BenchWorld world;
+    auto &device = world.device;
+    auto &pms = device.server().powerManager();
+    os::TokenId t =
+        pms.newWakeLock(kFirstAppUid, os::WakeLockType::Partial, "bm");
+    pms.acquire(t);
+    device.start();
+    for (auto _ : state) device.runFor(5_s); // ≥1 term check per iteration
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        device.leaseos()->manager().termChecks()));
+}
+BENCHMARK(BM_TermUpdateCycle);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printModeledLatencies();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

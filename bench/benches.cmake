@@ -1,0 +1,14 @@
+# Benchmark / reproduction binaries: one per paper table or figure.
+# Included from the top-level CMakeLists (not add_subdirectory) so that
+# build/bench/ contains only the bench executables.
+file(GLOB BENCH_SOURCES CONFIGURE_DEPENDS
+    ${CMAKE_CURRENT_LIST_DIR}/*.cc)
+
+foreach(bench_src ${BENCH_SOURCES})
+    get_filename_component(bench_name ${bench_src} NAME_WE)
+    add_executable(${bench_name} ${bench_src})
+    target_link_libraries(${bench_name} PRIVATE leaseos
+        benchmark::benchmark)
+    set_target_properties(${bench_name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()

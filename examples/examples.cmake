@@ -1,0 +1,12 @@
+# Runnable examples exercising the public API. Included from the
+# top-level CMakeLists so build/examples/ contains only the executables.
+file(GLOB EXAMPLE_SOURCES CONFIGURE_DEPENDS
+    ${CMAKE_CURRENT_LIST_DIR}/*.cc ${CMAKE_CURRENT_LIST_DIR}/*.cpp)
+
+foreach(example_src ${EXAMPLE_SOURCES})
+    get_filename_component(example_name ${example_src} NAME_WE)
+    add_executable(${example_name} ${example_src})
+    target_link_libraries(${example_name} PRIVATE leaseos)
+    set_target_properties(${example_name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/examples)
+endforeach()

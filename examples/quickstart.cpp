@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: build a simulated phone, install a buggy app, and compare
+ * its power draw with and without LeaseOS.
+ *
+ * This is the 60-second tour of the public API:
+ *   1. harness::Device assembles the full substrate (hardware power
+ *      models, Android-style services, environments) — pass
+ *      MitigationMode::LeaseOS to transparently enable lease-based
+ *      resource management (no app changes needed);
+ *   2. install<App>() adds an app model; start() boots everything;
+ *   3. runFor() advances virtual time; appPowerMw() reads the profiler.
+ */
+
+#include <iostream>
+
+#include "apps/buggy/k9_mail.h"
+#include "harness/device.h"
+
+using namespace leaseos;
+using sim::operator""_min;
+
+namespace {
+
+double
+measure(harness::MitigationMode mode)
+{
+    harness::DeviceConfig config;
+    config.mode = mode;
+
+    harness::Device device(config);
+
+    // Trigger condition: the network is down, so buggy K-9 mail spins in
+    // its retry loop holding a wakelock (the paper's Fig. 4 scenario).
+    device.network().setConnected(false);
+
+    auto &k9 = device.install<apps::K9Mail>();
+    device.start();
+    device.runFor(10_min);
+
+    double mw = device.appPowerMw(k9.uid());
+    if (device.leaseos()) {
+        auto &mgr = device.leaseos()->manager();
+        std::cout << "  leases: " << mgr.totalCreated() << " created, "
+                  << mgr.totalDeferrals() << " deferrals, last behaviour "
+                  << "classes observed: LUB="
+                  << mgr.behaviorCount(lease::BehaviorType::LowUtility)
+                  << " LHB="
+                  << mgr.behaviorCount(lease::BehaviorType::LongHolding)
+                  << "\n";
+    }
+    return mw;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "LeaseOS quickstart: buggy K-9 mail, disconnected "
+                 "network, 10 simulated minutes\n\n";
+
+    std::cout << "vanilla Android (ask-use-release):\n";
+    double vanilla = measure(harness::MitigationMode::None);
+    std::cout << "  K-9 app power: " << vanilla << " mW\n\n";
+
+    std::cout << "LeaseOS (lease-based, utilitarian):\n";
+    double leased = measure(harness::MitigationMode::LeaseOS);
+    std::cout << "  K-9 app power: " << leased << " mW\n\n";
+
+    std::cout << "wasted power reduced by "
+              << 100.0 * (1.0 - leased / vanilla) << "%\n";
+    return 0;
+}

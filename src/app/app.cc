@@ -1,0 +1,5 @@
+#include "app/app.h"
+
+// App is header-only; this TU anchors the module in the build.
+namespace leaseos::app {
+} // namespace leaseos::app

@@ -1,0 +1,78 @@
+#ifndef LEASEOS_APP_APP_CONTEXT_H
+#define LEASEOS_APP_APP_CONTEXT_H
+
+/**
+ * @file
+ * Everything an app can reach: system services and environments.
+ *
+ * The harness Device assembles one AppContext per device; apps keep a
+ * reference. The lease manager pointer is null when the device runs the
+ * vanilla (no-lease) configuration — apps must treat it as optional, which
+ * mirrors real apps running on stock Android.
+ */
+
+#include "env/gps_environment.h"
+#include "env/motion_model.h"
+#include "env/network_environment.h"
+#include "env/user_model.h"
+#include "os/system_server.h"
+#include "power/device_profile.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace leaseos::lease {
+class LeaseManagerService;
+} // namespace leaseos::lease
+
+namespace leaseos::app {
+
+/**
+ * Handle bundle passed to every app.
+ */
+struct AppContext {
+    sim::Simulator &sim;
+    power::CpuModel &cpu;
+    os::SystemServer &server;
+    env::NetworkEnvironment &network;
+    env::GpsEnvironment &gpsEnv;
+    env::MotionModel &motion;
+    env::UserModel &user;
+    sim::RandomSource &rng;
+    const power::DeviceProfile &profile;
+    /** Null when the device runs without LeaseOS. */
+    lease::LeaseManagerService *leaseManager = nullptr;
+
+    os::PowerManagerService &powerManager() { return server.powerManager(); }
+    os::LocationManagerService &
+    locationManager()
+    {
+        return server.locationManager();
+    }
+    os::SensorManagerService &sensorManager()
+    {
+        return server.sensorManager();
+    }
+    os::WifiManagerService &wifiManager() { return server.wifiManager(); }
+    os::DisplayManagerService &
+    displayManager()
+    {
+        return server.displayManager();
+    }
+    os::AlarmManagerService &alarmManager() { return server.alarmManager(); }
+    os::ActivityManagerService &
+    activityManager()
+    {
+        return server.activityManager();
+    }
+    os::ExceptionNoteHandler &exceptions() { return server.exceptionHandler(); }
+    os::AudioSessionService &audioSessions() { return server.audioSessions(); }
+    os::BluetoothService &bluetoothService()
+    {
+        return server.bluetoothService();
+    }
+    power::AudioModel &audio() { return server.audio(); }
+};
+
+} // namespace leaseos::app
+
+#endif // LEASEOS_APP_APP_CONTEXT_H

@@ -1,0 +1,63 @@
+#include "app/app_process.h"
+
+#include <utility>
+
+namespace leaseos::app {
+
+AppProcess::AppProcess(sim::Simulator &sim, power::CpuModel &cpu, Uid uid,
+                       std::string name)
+    : sim_(sim), cpu_(cpu), uid_(uid), name_(std::move(name)),
+      alive_(std::make_shared<bool>(true))
+{
+}
+
+AppProcess::~AppProcess()
+{
+    *alive_ = false;
+}
+
+void
+AppProcess::post(sim::Time delay, std::function<void()> fn)
+{
+    if (!*alive_) return;
+    auto alive = alive_;
+    auto guarded = [alive, fn = std::move(fn)] {
+        if (*alive) fn();
+    };
+    sim_.schedule(delay, [this, alive, guarded = std::move(guarded)] {
+        if (!*alive) return;
+        if (cpu_.isAwake()) {
+            guarded();
+        } else {
+            cpu_.notifyOnWake(guarded);
+        }
+    });
+}
+
+void
+AppProcess::postNow(std::function<void()> fn)
+{
+    post(sim::Time::zero(), std::move(fn));
+}
+
+void
+AppProcess::compute(double load, sim::Time duration)
+{
+    cpu_.runWorkFor(uid_, load, duration);
+}
+
+void
+AppProcess::computeScaled(double load, sim::Time referenceDuration)
+{
+    double factor = cpu_.profile().perfFactor;
+    if (factor <= 0.0) factor = 1.0;
+    cpu_.runWorkFor(uid_, load, referenceDuration / factor);
+}
+
+void
+AppProcess::kill()
+{
+    *alive_ = false;
+}
+
+} // namespace leaseos::app

@@ -1,0 +1,80 @@
+#ifndef LEASEOS_APP_APP_PROCESS_H
+#define LEASEOS_APP_APP_PROCESS_H
+
+/**
+ * @file
+ * An app's execution context with CPU-sleep pause semantics.
+ *
+ * Android app code only runs while the CPU is awake. When a lease deferral
+ * removes the last wakelock and the CPU deep-sleeps, pending app work
+ * freezes and resumes on the next wake — §4.6's "the execution is paused
+ * and will be resumed seamlessly later". AppProcess::post() implements
+ * exactly that: the continuation fires at its scheduled time if the CPU is
+ * awake, otherwise parks in the CPU's wake-waiter queue.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/ids.h"
+#include "power/cpu_model.h"
+#include "sim/simulator.h"
+
+namespace leaseos::app {
+
+/**
+ * Pause-aware scheduling and CPU work for one app process.
+ */
+class AppProcess
+{
+  public:
+    AppProcess(sim::Simulator &sim, power::CpuModel &cpu, Uid uid,
+               std::string name);
+    ~AppProcess();
+    AppProcess(const AppProcess &) = delete;
+    AppProcess &operator=(const AppProcess &) = delete;
+
+    Uid uid() const { return uid_; }
+    const std::string &name() const { return name_; }
+    bool alive() const { return *alive_; }
+
+    /**
+     * Run @p fn after @p delay of virtual time, but never while the CPU
+     * sleeps: if asleep at the due time, @p fn waits for the next wake.
+     * Work posted by a dead process is dropped.
+     */
+    void post(sim::Time delay, std::function<void()> fn);
+
+    /** post() with zero delay. */
+    void postNow(std::function<void()> fn);
+
+    /**
+     * Burn CPU: @p load cores for @p duration, attributed to this uid.
+     * The device profile's perfFactor is NOT applied here — callers
+     * expressing "an amount of computation" should use computeScaled().
+     */
+    void compute(double load, sim::Time duration);
+
+    /**
+     * Burn the CPU time that a unit of work costs on *this* device:
+     * duration scaled by 1/perfFactor so slow phones take longer.
+     */
+    void computeScaled(double load, sim::Time referenceDuration);
+
+    /** Kill the process; pending posts are dropped. */
+    void kill();
+
+  private:
+    sim::Simulator &sim_;
+    power::CpuModel &cpu_;
+    Uid uid_;
+    std::string name_;
+    /** Shared liveness flag so queued closures see kill(). */
+    std::shared_ptr<bool> alive_;
+};
+
+} // namespace leaseos::app
+
+#endif // LEASEOS_APP_APP_PROCESS_H

@@ -1,0 +1,5 @@
+#include "apps/buggy/aimsicd.h"
+
+// Aimsicd is header-only; this TU anchors the module.
+namespace leaseos::apps {
+} // namespace leaseos::apps

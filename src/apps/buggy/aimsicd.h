@@ -1,0 +1,27 @@
+#ifndef LEASEOS_APPS_BUGGY_AIMSICD_H
+#define LEASEOS_APPS_BUGGY_AIMSICD_H
+
+/**
+ * @file
+ * AIMSICD model (Table 5 row; issue #87 "battery consumption way too
+ * high"). The IMSI-catcher detector runs its cell-tracking pipeline with
+ * GPS pinned on and a status overlay alive; the work is real but, with
+ * the device sitting on a desk, produces nothing of value → Low-Utility.
+ */
+
+#include "apps/buggy/continuous_gps_app.h"
+
+namespace leaseos::apps {
+
+class Aimsicd : public ContinuousGpsApp
+{
+  public:
+    Aimsicd(app::AppContext &ctx, Uid uid)
+        : ContinuousGpsApp(ctx, uid, "AIMSICD",
+                           Params{sim::Time::fromSeconds(3.0), true,
+                                  sim::Time::fromMillis(40), 0.6, true}) {}
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_AIMSICD_H

@@ -1,0 +1,5 @@
+#include "apps/buggy/beacon_scanner.h"
+
+// BeaconScanner is header-only; this TU anchors the module.
+namespace leaseos::apps {
+} // namespace leaseos::apps

@@ -1,0 +1,73 @@
+#include "apps/buggy/better_weather.h"
+
+namespace leaseos::apps {
+
+using sim::operator""_s;
+using sim::operator""_min;
+
+BetterWeather::BetterWeather(app::AppContext &ctx, Uid uid)
+    : App(ctx, uid, "BetterWeather")
+{
+}
+
+void
+BetterWeather::start()
+{
+    requestLocation();
+}
+
+void
+BetterWeather::stop()
+{
+    stopped_ = true;
+    if (request_ != os::kInvalidToken)
+        ctx_.locationManager().removeUpdates(request_);
+    App::stop();
+}
+
+void
+BetterWeather::requestLocation()
+{
+    if (stopped_) return;
+    ++attempt_;
+    request_ =
+        ctx_.locationManager().requestLocationUpdates(uid(), 5_s, this);
+    std::uint64_t this_attempt = attempt_;
+    // Widgets schedule their timeouts through wakeup alarms — the retry
+    // cycle must run even with the screen off and the CPU asleep.
+    ctx_.alarmManager().setAlarm(
+        uid(), kAttemptTimeout, true,
+        [this, this_attempt] { onRequestTimeout(this_attempt); });
+}
+
+void
+BetterWeather::onRequestTimeout(std::uint64_t attempt)
+{
+    if (stopped_ || attempt != attempt_) return;
+    // No fix within the timeout: tear down and immediately search again —
+    // the defect (no give-up, no back-off tied to signal conditions).
+    ctx_.locationManager().removeUpdates(request_);
+    request_ = os::kInvalidToken;
+    sim::Time gap =
+        kRetryGap + ctx_.rng.uniformTime(sim::Time::zero(), 10_s);
+    ctx_.alarmManager().setAlarm(uid(), gap, true,
+                                 [this] { requestLocation(); });
+}
+
+void
+BetterWeather::onLocation(const GeoPoint &)
+{
+    if (stopped_) return;
+    // Got a fix: fetch weather, update the widget, and back off properly.
+    ++attempt_; // invalidate the pending timeout
+    ++updates_;
+    uiUpdate();
+    if (request_ != os::kInvalidToken) {
+        ctx_.locationManager().removeUpdates(request_);
+        request_ = os::kInvalidToken;
+    }
+    ctx_.alarmManager().setAlarm(uid(), 30_min, true,
+                                 [this] { requestLocation(); });
+}
+
+} // namespace leaseos::apps

@@ -1,0 +1,56 @@
+#ifndef LEASEOS_APPS_BUGGY_BETTER_WEATHER_H
+#define LEASEOS_APPS_BUGGY_BETTER_WEATHER_H
+
+/**
+ * @file
+ * BetterWeather model (Case III, §2.1; Fig. 1; Table 5 row).
+ *
+ * Issue #6: "high battery drain with no gps lock". requestLocation keeps
+ * searching for GPS non-stop when the device cannot get a lock (indoors).
+ * Each attempt requests updates, waits, times out, and immediately
+ * re-requests → Frequent-Ask: ~60 % of every minute spent asking with a
+ * near-zero success ratio (Fig. 1).
+ */
+
+#include <cstdint>
+
+#include "app/app.h"
+#include "os/binder.h"
+#include "os/location_manager_service.h"
+
+namespace leaseos::apps {
+
+/**
+ * Buggy BetterWeather widget.
+ */
+class BetterWeather : public app::App, private os::LocationListener
+{
+  public:
+    BetterWeather(app::AppContext &ctx, Uid uid);
+
+    void start() override;
+    void stop() override;
+
+    std::uint64_t weatherUpdates() const { return updates_; }
+
+  private:
+    void requestLocation();
+    void onRequestTimeout(std::uint64_t attempt);
+    void onLocation(const GeoPoint &point) override;
+
+    /** How long one GPS attempt waits before giving up. */
+    static constexpr sim::Time kAttemptTimeout =
+        sim::Time::fromSeconds(40.0);
+
+    /** Think-time between attempts (jittered). */
+    static constexpr sim::Time kRetryGap = sim::Time::fromSeconds(20.0);
+
+    os::TokenId request_ = os::kInvalidToken;
+    std::uint64_t attempt_ = 0;
+    std::uint64_t updates_ = 0;
+    bool stopped_ = false;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_BETTER_WEATHER_H

@@ -1,0 +1,39 @@
+#ifndef LEASEOS_APPS_BUGGY_BOSTONBUSMAP_H
+#define LEASEOS_APPS_BUGGY_BOSTONBUSMAP_H
+
+/**
+ * @file
+ * BostonBusMap model (Table 5 row; commit 9fa09e7 "can't find location
+ * message was still posted even if location manager was turned off"). The
+ * map Activity finishes but its location subscription leaks and keeps the
+ * receiver running → Long-Holding after the Activity dies.
+ */
+
+#include "apps/buggy/continuous_gps_app.h"
+
+namespace leaseos::apps {
+
+class BostonBusMap : public ContinuousGpsApp
+{
+  public:
+    BostonBusMap(app::AppContext &ctx, Uid uid)
+        : ContinuousGpsApp(ctx, uid, "BostonBusMap",
+                           Params{sim::Time::fromSeconds(5.0), false,
+                                  sim::Time::fromMillis(25), 0.5, true}) {}
+
+    void
+    start() override
+    {
+        // The user checks a bus, then leaves; the request outlives the
+        // Activity (the leak).
+        ctx_.activityManager().activityStarted(uid());
+        ContinuousGpsApp::start();
+        process_.post(sim::Time::fromSeconds(25.0), [this] {
+            ctx_.activityManager().activityStopped(uid());
+        });
+    }
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_BOSTONBUSMAP_H

@@ -1,0 +1,5 @@
+#include "apps/buggy/connectbot_screen.h"
+
+// ConnectBotScreen is header-only; this TU anchors the module.
+namespace leaseos::apps {
+} // namespace leaseos::apps

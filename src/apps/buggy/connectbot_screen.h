@@ -1,0 +1,68 @@
+#ifndef LEASEOS_APPS_BUGGY_CONNECTBOT_SCREEN_H
+#define LEASEOS_APPS_BUGGY_CONNECTBOT_SCREEN_H
+
+/**
+ * @file
+ * ConnectBot screen-lock model (Table 5 row; issue #299). The terminal
+ * acquires a *full* wakelock to keep the screen on during a session; when
+ * the user switches away without closing the session the panel stays lit
+ * in the background → screen Long-Holding. Doze never touches the screen,
+ * which is why its reduction for this row is ~0.6 %.
+ */
+
+#include "app/app.h"
+#include "os/binder.h"
+
+namespace leaseos::apps {
+
+/**
+ * Buggy ConnectBot terminal (screen variant).
+ */
+class ConnectBotScreen : public app::App
+{
+  public:
+    ConnectBotScreen(app::AppContext &ctx, Uid uid)
+        : App(ctx, uid, "ConnectBot(screen)") {}
+
+    void
+    start() override
+    {
+        lock_ = ctx_.powerManager().newWakeLock(
+            uid(), os::WakeLockType::Full, "ConnectBot:console");
+        // Session opens in the foreground for a short while...
+        ctx_.activityManager().activityStarted(uid());
+        ctx_.powerManager().acquire(lock_);
+        process_.post(sim::Time::fromSeconds(20.0), [this] {
+            // ...then the user navigates away; the Activity stops but the
+            // full lock stays held (the defect).
+            ctx_.activityManager().activityStopped(uid());
+        });
+        keepSession();
+    }
+
+    void
+    stop() override
+    {
+        stopped_ = true;
+        ctx_.powerManager().destroy(lock_);
+        App::stop();
+    }
+
+  private:
+    void
+    keepSession()
+    {
+        if (stopped_) return;
+        // Idle ssh keep-alive every 30 s.
+        process_.computeScaled(0.3, sim::Time::fromMillis(30));
+        process_.post(sim::Time::fromSeconds(30.0),
+                      [this] { keepSession(); });
+    }
+
+    os::TokenId lock_ = os::kInvalidToken;
+    bool stopped_ = false;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_CONNECTBOT_SCREEN_H

@@ -1,0 +1,61 @@
+#ifndef LEASEOS_APPS_BUGGY_CONNECTBOT_WIFI_H
+#define LEASEOS_APPS_BUGGY_CONNECTBOT_WIFI_H
+
+/**
+ * @file
+ * ConnectBot Wi-Fi lock model (Table 5 row; commit b7cc89c "only lock
+ * Wi-Fi if our active network is Wi-Fi upon connection"). The app grabs a
+ * high-performance Wi-Fi lock on every connection even when the session
+ * runs over cellular, then keeps it with zero Wi-Fi traffic → Wi-Fi
+ * Long-Holding.
+ */
+
+#include "app/app.h"
+#include "os/binder.h"
+
+namespace leaseos::apps {
+
+/**
+ * Buggy ConnectBot terminal (Wi-Fi lock variant).
+ */
+class ConnectBotWifi : public app::App
+{
+  public:
+    ConnectBotWifi(app::AppContext &ctx, Uid uid)
+        : App(ctx, uid, "ConnectBot(wifi)") {}
+
+    void
+    start() override
+    {
+        lock_ = ctx_.wifiManager().createWifiLock(uid(), "ConnectBot");
+        ctx_.wifiManager().acquire(lock_); // active network is cellular!
+        keepSession();
+    }
+
+    void
+    stop() override
+    {
+        stopped_ = true;
+        ctx_.wifiManager().destroy(lock_);
+        App::stop();
+    }
+
+  private:
+    void
+    keepSession()
+    {
+        if (stopped_) return;
+        // The session itself trickles over cellular.
+        ctx_.network.httpRequest(uid(), "ssh.example", 200,
+                                 [](env::NetResult) {});
+        process_.post(sim::Time::fromSeconds(45.0),
+                      [this] { keepSession(); });
+    }
+
+    os::TokenId lock_ = os::kInvalidToken;
+    bool stopped_ = false;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_CONNECTBOT_WIFI_H

@@ -1,0 +1,88 @@
+#ifndef LEASEOS_APPS_BUGGY_CONTINUOUS_GPS_APP_H
+#define LEASEOS_APPS_BUGGY_CONTINUOUS_GPS_APP_H
+
+/**
+ * @file
+ * Shared behaviour for the continuous-GPS defect family of Table 5.
+ *
+ * Six of the GPS rows share a skeleton — a location request that never
+ * ends while the device sits still — and differ in whether an Activity
+ * stays bound (LUB: app left open, vs LHB: bare background service), the
+ * update rate, per-fix processing cost, and whether a partial wakelock is
+ * held for that processing. Because the processing is fix-driven,
+ * revoking the GPS lease also silences the CPU work it feeds.
+ */
+
+#include "app/app.h"
+#include "os/binder.h"
+#include "os/location_manager_service.h"
+
+namespace leaseos::apps {
+
+/**
+ * Parameterised never-ending GPS consumer.
+ */
+class ContinuousGpsApp : public app::App, protected os::LocationListener
+{
+  public:
+    struct Params {
+        sim::Time updateInterval = sim::Time::fromSeconds(5.0);
+        /** Keep an Activity alive (LUB pattern) or none (LHB pattern). */
+        bool keepActivity = false;
+        /** CPU per delivered fix. */
+        sim::Time perFixWork = sim::Time::fromMillis(30);
+        double perFixLoad = 0.5;
+        /** Hold a partial wakelock for the processing pipeline. */
+        bool holdWakelock = false;
+    };
+
+    ContinuousGpsApp(app::AppContext &ctx, Uid uid, std::string name,
+                     Params params)
+        : App(ctx, uid, std::move(name)), params_(params) {}
+
+    void
+    start() override
+    {
+        if (params_.keepActivity)
+            ctx_.activityManager().activityStarted(uid());
+        if (params_.holdWakelock) {
+            lock_ = ctx_.powerManager().newWakeLock(
+                uid(), os::WakeLockType::Partial, name() + ":track");
+            ctx_.powerManager().acquire(lock_);
+        }
+        request_ = ctx_.locationManager().requestLocationUpdates(
+            uid(), params_.updateInterval, this);
+    }
+
+    void
+    stop() override
+    {
+        if (request_ != os::kInvalidToken)
+            ctx_.locationManager().removeUpdates(request_);
+        if (lock_ != os::kInvalidToken)
+            ctx_.powerManager().destroy(lock_);
+        if (params_.keepActivity)
+            ctx_.activityManager().activityStopped(uid());
+        App::stop();
+    }
+
+    std::uint64_t fixes() const { return fixes_; }
+
+  protected:
+    void
+    onLocation(const GeoPoint &) override
+    {
+        ++fixes_;
+        process_.computeScaled(params_.perFixLoad, params_.perFixWork);
+    }
+
+  private:
+    Params params_;
+    os::TokenId request_ = os::kInvalidToken;
+    os::TokenId lock_ = os::kInvalidToken;
+    std::uint64_t fixes_ = 0;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_CONTINUOUS_GPS_APP_H

@@ -1,0 +1,5 @@
+#include "apps/buggy/facebook.h"
+
+// Facebook is header-only; this TU anchors the module in the build.
+namespace leaseos::apps {
+} // namespace leaseos::apps

@@ -1,0 +1,61 @@
+#ifndef LEASEOS_APPS_BUGGY_FACEBOOK_H
+#define LEASEOS_APPS_BUGGY_FACEBOOK_H
+
+/**
+ * @file
+ * Facebook model (Table 5 row; the 2010 "battery drain in latest Android
+ * build" report). A background session service keeps a wakelock held
+ * permanently while only polling for updates occasionally → Long-Holding.
+ */
+
+#include "app/app.h"
+#include "os/binder.h"
+
+namespace leaseos::apps {
+
+/**
+ * Buggy Facebook background service.
+ */
+class Facebook : public app::App
+{
+  public:
+    static constexpr const char *kServer = "api.facebook.example";
+
+    Facebook(app::AppContext &ctx, Uid uid) : App(ctx, uid, "Facebook") {}
+
+    void
+    start() override
+    {
+        lock_ = ctx_.powerManager().newWakeLock(
+            uid(), os::WakeLockType::Partial, "fb:session");
+        ctx_.powerManager().acquire(lock_); // never released
+        poll();
+    }
+
+    void
+    stop() override
+    {
+        stopped_ = true;
+        ctx_.powerManager().destroy(lock_);
+        App::stop();
+    }
+
+  private:
+    void
+    poll()
+    {
+        if (stopped_) return;
+        // A light refresh once a minute: ~0.1 s CPU per 60 s awake.
+        process_.computeScaled(0.5, sim::Time::fromMillis(120));
+        ctx_.network.httpRequest(uid(), kServer, 15000,
+                                 [](env::NetResult) {});
+        process_.post(sim::Time::fromSeconds(60.0), [this] { poll(); });
+    }
+
+    os::TokenId lock_ = os::kInvalidToken;
+    bool stopped_ = false;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_FACEBOOK_H

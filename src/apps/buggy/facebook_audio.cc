@@ -1,0 +1,5 @@
+#include "apps/buggy/facebook_audio.h"
+
+// FacebookAudio is header-only; this TU anchors the module.
+namespace leaseos::apps {
+} // namespace leaseos::apps

@@ -1,0 +1,57 @@
+#ifndef LEASEOS_APPS_BUGGY_FACEBOOK_AUDIO_H
+#define LEASEOS_APPS_BUGGY_FACEBOOK_AUDIO_H
+
+/**
+ * @file
+ * The §1 motivating bug: the October 2015 Facebook iOS release that
+ * leaked audio sessions. After a video with sound finishes, one code path
+ * skips the session close; the app then sits in the background "doing
+ * nothing but staying awake" — the audio pipeline and the CPU both held
+ * by a silent session → Long-Holding on the audio resource.
+ */
+
+#include "app/app.h"
+#include "os/binder.h"
+
+namespace leaseos::apps {
+
+/**
+ * Buggy Facebook (audio-session leak variant).
+ */
+class FacebookAudio : public app::App
+{
+  public:
+    FacebookAudio(app::AppContext &ctx, Uid uid)
+        : App(ctx, uid, "Facebook(audio)") {}
+
+    void
+    start() override
+    {
+        // The user watches a 30-second video with sound...
+        session_ = ctx_.audioSessions().openSession(uid());
+        ctx_.audioSessions().startPlayback(session_);
+        ctx_.activityManager().activityStarted(uid());
+        process_.post(sim::Time::fromSeconds(30.0), [this] {
+            // ...the video ends and the user leaves the app. Playback
+            // stops but the buggy path never closes the session.
+            ctx_.audioSessions().stopPlayback(session_);
+            ctx_.activityManager().activityStopped(uid());
+        });
+    }
+
+    void
+    stop() override
+    {
+        ctx_.audioSessions().destroy(session_);
+        App::stop();
+    }
+
+    os::TokenId session() const { return session_; }
+
+  private:
+    os::TokenId session_ = os::kInvalidToken;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_FACEBOOK_AUDIO_H

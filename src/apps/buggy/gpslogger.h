@@ -1,0 +1,26 @@
+#ifndef LEASEOS_APPS_BUGGY_GPSLOGGER_H
+#define LEASEOS_APPS_BUGGY_GPSLOGGER_H
+
+/**
+ * @file
+ * GPSLogger model (Table 5 row; issue #4 "location accuracy"): configured
+ * for maximum accuracy, it keeps the receiver streaming at 1 Hz from a
+ * background service → Long-Holding.
+ */
+
+#include "apps/buggy/continuous_gps_app.h"
+
+namespace leaseos::apps {
+
+class GpsLogger : public ContinuousGpsApp
+{
+  public:
+    GpsLogger(app::AppContext &ctx, Uid uid)
+        : ContinuousGpsApp(ctx, uid, "GPSLogger",
+                           Params{sim::Time::fromSeconds(1.0), false,
+                                  sim::Time::fromMillis(10), 0.4, true}) {}
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_GPSLOGGER_H

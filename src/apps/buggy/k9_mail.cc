@@ -1,0 +1,90 @@
+#include "apps/buggy/k9_mail.h"
+
+namespace leaseos::apps {
+
+using sim::operator""_ms;
+using sim::operator""_s;
+
+K9Mail::K9Mail(app::AppContext &ctx, Uid uid) : App(ctx, uid, "K-9 Mail")
+{
+}
+
+void
+K9Mail::start()
+{
+    wakeLock_ = ctx_.powerManager().newWakeLock(
+        uid(), os::WakeLockType::Partial, "K9:EasPusher");
+    startPush();
+}
+
+void
+K9Mail::stop()
+{
+    stopped_ = true;
+    if (pushing_) finishPush();
+    ctx_.powerManager().destroy(wakeLock_);
+    App::stop();
+}
+
+void
+K9Mail::startPush()
+{
+    if (stopped_ || pushing_) return;
+    pushing_ = true;
+    ctx_.powerManager().acquire(wakeLock_); // (1) in Fig. 8
+    attemptSync();
+}
+
+void
+K9Mail::attemptSync()
+{
+    if (stopped_ || !pushing_) return;
+    // Serializer work: walk folders and build the request (2).
+    process_.computeScaled(1.0, 60_ms);
+    process_.post(60_ms, [this] {
+        ctx_.network.httpRequest(uid(), kServer, 40000,
+                                 [this](env::NetResult result) {
+                                     process_.postNow([this, result] {
+                                         onSyncResult(result);
+                                     });
+                                 });
+    });
+}
+
+void
+K9Mail::onSyncResult(env::NetResult result)
+{
+    if (stopped_ || !pushing_) return;
+    if (result == env::NetResult::Ok) {
+        ++successes_;
+        uiUpdate(); // new-mail notification
+        finishPush();
+        // Next scheduled push in ~2 minutes via an RTC alarm.
+        ctx_.alarmManager().setAlarm(uid(), 120_s, true,
+                                     [this] { startPush(); });
+        return;
+    }
+
+    ++failures_;
+    // The defect: retry immediately, wakelock still held, no back-off.
+    if (result == env::NetResult::Disconnected) {
+        // (3) exception loop: error handling burns CPU and throws a
+        // severe exception per iteration.
+        throwSevere();
+        process_.computeScaled(3.0, 50_ms);
+        process_.post(70_ms, [this] { attemptSync(); });
+    } else {
+        // Bad server: the attempt already waited out the long timeout
+        // with the CPU idle; just go around again.
+        process_.postNow([this] { attemptSync(); });
+    }
+}
+
+void
+K9Mail::finishPush()
+{
+    pushing_ = false;
+    ctx_.powerManager().release(wakeLock_); // (4)
+}
+
+} // namespace leaseos::apps

@@ -1,0 +1,59 @@
+#ifndef LEASEOS_APPS_BUGGY_K9_MAIL_H
+#define LEASEOS_APPS_BUGGY_K9_MAIL_H
+
+/**
+ * @file
+ * K-9 Mail model (Case I, §2.1; Fig. 2/4/8; Table 5 row "K-9").
+ *
+ * The push service acquires a wakelock per sync attempt and retries
+ * indefinitely without back-off on failure (fixed upstream in 4542e64 by
+ * adding exponential back-off and prompt release). Two trigger modes:
+ *  - connected + bad mail server: each attempt waits out a long server
+ *    timeout holding the wakelock with the CPU nearly idle → LHB (Fig. 2);
+ *  - disconnected network: requests fail fast, so the retry loop spins hot
+ *    raising an exception per iteration → LUB with CPU/wakelock > 100 %
+ *    (Fig. 4).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "app/app.h"
+#include "os/binder.h"
+
+namespace leaseos::apps {
+
+/**
+ * Buggy K-9 mail push service.
+ */
+class K9Mail : public app::App
+{
+  public:
+    /** The mail server hostname used in the network environment. */
+    static constexpr const char *kServer = "mail.k9.example";
+
+    K9Mail(app::AppContext &ctx, Uid uid);
+
+    void start() override;
+    void stop() override;
+
+    std::uint64_t successfulSyncs() const { return successes_; }
+    std::uint64_t failedAttempts() const { return failures_; }
+
+  private:
+    /** EasPusher.start(): acquire the lock and run the sync loop. */
+    void startPush();
+    void attemptSync();
+    void onSyncResult(env::NetResult result);
+    void finishPush();
+
+    os::TokenId wakeLock_ = os::kInvalidToken;
+    bool pushing_ = false;
+    bool stopped_ = false;
+    std::uint64_t successes_ = 0;
+    std::uint64_t failures_ = 0;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_K9_MAIL_H

@@ -1,0 +1,83 @@
+#ifndef LEASEOS_APPS_BUGGY_MOZSTUMBLER_H
+#define LEASEOS_APPS_BUGGY_MOZSTUMBLER_H
+
+/**
+ * @file
+ * MozStumbler model (Table 5 row; issue #369 "interval based periodic
+ * scanning"). The stumbler service scans GPS in long periodic bursts from
+ * a background service with no Activity bound — each burst is
+ * Long-Holding, but the off-phases mean a lease system can only claw back
+ * part of the waste (the paper's lowest LeaseOS reduction, 44.8 %).
+ */
+
+#include "app/app.h"
+#include "os/binder.h"
+#include "os/location_manager_service.h"
+
+namespace leaseos::apps {
+
+/**
+ * Buggy MozStumbler scanning service.
+ */
+class MozStumbler : public app::App, private os::LocationListener
+{
+  public:
+    MozStumbler(app::AppContext &ctx, Uid uid)
+        : App(ctx, uid, "MozStumbler") {}
+
+    void
+    start() override
+    {
+        beginScan();
+    }
+
+    void
+    stop() override
+    {
+        stopped_ = true;
+        endScan();
+        App::stop();
+    }
+
+  private:
+    static constexpr sim::Time kScanLength = sim::Time::fromSeconds(90.0);
+    static constexpr sim::Time kScanGap = sim::Time::fromSeconds(40.0);
+
+    void
+    beginScan()
+    {
+        if (stopped_) return;
+        request_ = ctx_.locationManager().requestLocationUpdates(
+            uid(), sim::Time::fromSeconds(4.0), this);
+        // Interval-based scanning (#369) runs off wakeup alarms so the
+        // cycle continues while the CPU sleeps between fixes.
+        ctx_.alarmManager().setAlarm(uid(), kScanLength, true, [this] {
+            endScan();
+            ctx_.alarmManager().setAlarm(uid(), kScanGap, true,
+                                         [this] { beginScan(); });
+        });
+    }
+
+    void
+    endScan()
+    {
+        if (request_ != os::kInvalidToken) {
+            ctx_.locationManager().removeUpdates(request_);
+            request_ = os::kInvalidToken;
+        }
+    }
+
+    void
+    onLocation(const GeoPoint &) override
+    {
+        // Record a stumble report (background work, no UI).
+        process_.computeScaled(0.5, sim::Time::fromMillis(40));
+    }
+
+    os::TokenId request_ = os::kInvalidToken;
+    bool stopped_ = false;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_MOZSTUMBLER_H

@@ -1,0 +1,5 @@
+#include "apps/buggy/opengps_tracker.h"
+
+// OpenGpsTracker is header-only; this TU anchors the module.
+namespace leaseos::apps {
+} // namespace leaseos::apps

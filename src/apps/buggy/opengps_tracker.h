@@ -1,0 +1,26 @@
+#ifndef LEASEOS_APPS_BUGGY_OPENGPS_TRACKER_H
+#define LEASEOS_APPS_BUGGY_OPENGPS_TRACKER_H
+
+/**
+ * @file
+ * OpenGPSTracker model (Table 5 row; issue #239). Tracking left running
+ * with an aggressive filtering pipeline: heavy CPU + 1 Hz GPS on a parked
+ * device → the most power-hungry GPS Low-Utility row (360 mW).
+ */
+
+#include "apps/buggy/continuous_gps_app.h"
+
+namespace leaseos::apps {
+
+class OpenGpsTracker : public ContinuousGpsApp
+{
+  public:
+    OpenGpsTracker(app::AppContext &ctx, Uid uid)
+        : ContinuousGpsApp(ctx, uid, "OpenGPSTracker",
+                           Params{sim::Time::fromSeconds(1.0), true,
+                                  sim::Time::fromMillis(700), 1.2, true}) {}
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_OPENGPS_TRACKER_H

@@ -1,0 +1,26 @@
+#ifndef LEASEOS_APPS_BUGGY_OPENSCIENCE_MAP_H
+#define LEASEOS_APPS_BUGGY_OPENSCIENCE_MAP_H
+
+/**
+ * @file
+ * OpenScienceMap model (Table 5 row; vtm issue #31 "GPS stays active").
+ * The map is left open on a stationary device; GPS keeps streaming fixes
+ * that redraw nothing → Low-Utility.
+ */
+
+#include "apps/buggy/continuous_gps_app.h"
+
+namespace leaseos::apps {
+
+class OpenScienceMap : public ContinuousGpsApp
+{
+  public:
+    OpenScienceMap(app::AppContext &ctx, Uid uid)
+        : ContinuousGpsApp(ctx, uid, "OpenScienceMap",
+                           Params{sim::Time::fromSeconds(2.0), true,
+                                  sim::Time::fromMillis(50), 0.6, true}) {}
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_OPENSCIENCE_MAP_H

@@ -1,0 +1,26 @@
+#ifndef LEASEOS_APPS_BUGGY_OSMTRACKER_H
+#define LEASEOS_APPS_BUGGY_OSMTRACKER_H
+
+/**
+ * @file
+ * OSMTracker model (Table 5 row): a track-recording service the user
+ * forgot to stop; GPS runs forever in the background with nothing bound
+ * to it → Long-Holding.
+ */
+
+#include "apps/buggy/continuous_gps_app.h"
+
+namespace leaseos::apps {
+
+class OsmTracker : public ContinuousGpsApp
+{
+  public:
+    OsmTracker(app::AppContext &ctx, Uid uid)
+        : ContinuousGpsApp(ctx, uid, "OSMTracker",
+                           Params{sim::Time::fromSeconds(4.0), false,
+                                  sim::Time::fromMillis(35), 0.5, true}) {}
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_OSMTRACKER_H

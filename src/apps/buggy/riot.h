@@ -1,0 +1,57 @@
+#ifndef LEASEOS_APPS_BUGGY_RIOT_H
+#define LEASEOS_APPS_BUGGY_RIOT_H
+
+/**
+ * @file
+ * Riot model (Table 5 row; riot-android issue #1830 "accelerometer use").
+ * The chat app registers an accelerometer listener (shake-to-report) and
+ * keeps it while the app sits open in the background; the feed produces
+ * nothing the user ever sees → Low-Utility.
+ */
+
+#include "app/app.h"
+#include "os/binder.h"
+#include "os/sensor_manager_service.h"
+
+namespace leaseos::apps {
+
+/**
+ * Buggy Riot messenger.
+ */
+class Riot : public app::App, private os::SensorEventListener
+{
+  public:
+    Riot(app::AppContext &ctx, Uid uid) : App(ctx, uid, "Riot") {}
+
+    void
+    start() override
+    {
+        // Left open: the chat Activity stays alive.
+        ctx_.activityManager().activityStarted(uid());
+        sensor_ = ctx_.sensorManager().registerListener(
+            uid(), power::SensorType::Accelerometer,
+            sim::Time::fromMillis(500), this);
+    }
+
+    void
+    stop() override
+    {
+        ctx_.sensorManager().destroy(sensor_);
+        ctx_.activityManager().activityStopped(uid());
+        App::stop();
+    }
+
+  private:
+    void
+    onSensorEvent(power::SensorType, double) override
+    {
+        // Shake detection that never triggers anything.
+        process_.computeScaled(0.2, sim::Time::fromMillis(2));
+    }
+
+    os::TokenId sensor_ = os::kInvalidToken;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_RIOT_H

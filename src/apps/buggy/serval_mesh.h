@@ -1,0 +1,60 @@
+#ifndef LEASEOS_APPS_BUGGY_SERVAL_MESH_H
+#define LEASEOS_APPS_BUGGY_SERVAL_MESH_H
+
+/**
+ * @file
+ * ServalMesh model (Table 5 row; batphone issue #50 "save power when not
+ * connected to an access point"). The mesh daemon keeps scanning for peers
+ * under a wakelock even with no access point in range: busy but pointless
+ * → Low-Utility.
+ */
+
+#include "app/app.h"
+#include "os/binder.h"
+
+namespace leaseos::apps {
+
+/**
+ * Buggy Serval mesh daemon.
+ */
+class ServalMesh : public app::App
+{
+  public:
+    ServalMesh(app::AppContext &ctx, Uid uid)
+        : App(ctx, uid, "ServalMesh") {}
+
+    void
+    start() override
+    {
+        lock_ = ctx_.powerManager().newWakeLock(
+            uid(), os::WakeLockType::Partial, "serval:mesh");
+        ctx_.powerManager().acquire(lock_);
+        scan();
+    }
+
+    void
+    stop() override
+    {
+        stopped_ = true;
+        ctx_.powerManager().destroy(lock_);
+        App::stop();
+    }
+
+  private:
+    void
+    scan()
+    {
+        if (stopped_) return;
+        // Peer discovery probe; with no AP every probe errors out.
+        process_.computeScaled(0.8, sim::Time::fromMillis(300));
+        if (!ctx_.network.connected()) throwSevere();
+        process_.post(sim::Time::fromMillis(1200), [this] { scan(); });
+    }
+
+    os::TokenId lock_ = os::kInvalidToken;
+    bool stopped_ = false;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_SERVAL_MESH_H

@@ -1,0 +1,5 @@
+#include "apps/buggy/standup_timer.h"
+
+// StandupTimer is header-only; this TU anchors the module.
+namespace leaseos::apps {
+} // namespace leaseos::apps

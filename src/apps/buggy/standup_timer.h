@@ -1,0 +1,69 @@
+#ifndef LEASEOS_APPS_BUGGY_STANDUP_TIMER_H
+#define LEASEOS_APPS_BUGGY_STANDUP_TIMER_H
+
+/**
+ * @file
+ * Standup Timer model (Table 5 row; commit 72bf4b9 "release the wakeLock
+ * in onPause(), because onPause is guaranteed to be called"). The meeting
+ * timer acquires a full wakelock in onResume but releases it in onDestroy,
+ * which may never run — leaving the screen forced on after the meeting →
+ * screen Long-Holding.
+ */
+
+#include "app/app.h"
+#include "os/binder.h"
+
+namespace leaseos::apps {
+
+/**
+ * Buggy Standup Timer.
+ */
+class StandupTimer : public app::App
+{
+  public:
+    StandupTimer(app::AppContext &ctx, Uid uid)
+        : App(ctx, uid, "Standup Timer") {}
+
+    void
+    start() override
+    {
+        lock_ = ctx_.powerManager().newWakeLock(
+            uid(), os::WakeLockType::Full, "standup:timer");
+        ctx_.activityManager().activityStarted(uid());
+        ctx_.powerManager().acquire(lock_); // onResume
+        // The stand-up wraps up; the user hits home. onPause runs but the
+        // buggy version has no release there, so the panel stays forced.
+        process_.post(sim::Time::fromMinutes(2.0), [this] {
+            ctx_.activityManager().activityStopped(uid());
+        });
+        tick();
+    }
+
+    void
+    stop() override
+    {
+        stopped_ = true;
+        ctx_.powerManager().destroy(lock_); // onDestroy (may never run)
+        App::stop();
+    }
+
+  private:
+    void
+    tick()
+    {
+        if (stopped_) return;
+        // Countdown redraw once a second while the Activity lives.
+        if (ctx_.activityManager().hasLiveActivity(uid())) {
+            process_.computeScaled(0.2, sim::Time::fromMillis(8));
+            uiUpdate();
+        }
+        process_.post(sim::Time::fromSeconds(1.0), [this] { tick(); });
+    }
+
+    os::TokenId lock_ = os::kInvalidToken;
+    bool stopped_ = false;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_STANDUP_TIMER_H

@@ -1,0 +1,57 @@
+#include "apps/buggy/tapandturn.h"
+
+namespace leaseos::apps {
+
+using sim::operator""_s;
+
+TapAndTurn::TapAndTurn(app::AppContext &ctx, Uid uid)
+    : App(ctx, uid, "TapAndTurn")
+{
+}
+
+void
+TapAndTurn::start()
+{
+    // The overlay service keeps a window alive (counts as an Activity for
+    // the listener-utilisation metric).
+    ctx_.activityManager().activityStarted(uid());
+    // Fig. 6: sensor.enable(utility) — register the custom counter when a
+    // lease manager exists; the app runs unchanged without one.
+    if (ctx_.leaseManager) {
+        ctx_.leaseManager->setUtility(uid(), lease::ResourceType::Sensor,
+                                      this);
+    }
+    sensor_ = ctx_.sensorManager().registerListener(
+        uid(), power::SensorType::Orientation, 1_s, this);
+}
+
+void
+TapAndTurn::stop()
+{
+    ctx_.sensorManager().destroy(sensor_);
+    ctx_.activityManager().activityStopped(uid());
+    if (ctx_.leaseManager) {
+        ctx_.leaseManager->setUtility(uid(), lease::ResourceType::Sensor,
+                                      nullptr);
+    }
+    App::stop();
+}
+
+void
+TapAndTurn::onSensorEvent(power::SensorType, double value)
+{
+    if (value != lastOrientation_) {
+        lastOrientation_ = value;
+        ++rotations_;
+        uiUpdate(); // the rotation icon appears
+    }
+}
+
+void
+TapAndTurn::clickIcon()
+{
+    ++clicks_;
+    ctx_.activityManager().noteUserInteraction(uid());
+}
+
+} // namespace leaseos::apps

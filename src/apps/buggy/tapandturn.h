@@ -1,0 +1,65 @@
+#ifndef LEASEOS_APPS_BUGGY_TAPANDTURN_H
+#define LEASEOS_APPS_BUGGY_TAPANDTURN_H
+
+/**
+ * @file
+ * TapAndTurn model (Table 5 row; issue #28 "polls sensors even when
+ * screen is off") and the custom-utility example of Fig. 6.
+ *
+ * The service listens to the orientation sensor and pops a rotation icon
+ * the user may click. The app implements IUtilityCounter as in Fig. 6:
+ * score = 100 * clicks / rotations — when the icon keeps appearing with no
+ * clicks (user asleep, phone on the nightstand) utility goes to zero →
+ * Low-Utility via the custom counter.
+ */
+
+#include <cstdint>
+
+#include "app/app.h"
+#include "common/utility_counter.h"
+#include "lease/lease_manager.h"
+#include "os/binder.h"
+#include "os/sensor_manager_service.h"
+
+namespace leaseos::apps {
+
+/**
+ * Buggy TapAndTurn rotation-control service.
+ */
+class TapAndTurn : public app::App,
+                   private os::SensorEventListener,
+                   private IUtilityCounter
+{
+  public:
+    TapAndTurn(app::AppContext &ctx, Uid uid);
+
+    void start() override;
+    void stop() override;
+
+    /** User clicked the rotation icon (wired by the usability benches). */
+    void clickIcon();
+
+    std::uint64_t rotations() const { return rotations_; }
+    std::uint64_t clicks() const { return clicks_; }
+
+  private:
+    // Fig. 6's ClickUtility.getScore().
+    double
+    getScore() override
+    {
+        if (rotations_ == 0) return 50.0;
+        return 100.0 * static_cast<double>(clicks_) /
+            static_cast<double>(rotations_);
+    }
+
+    void onSensorEvent(power::SensorType type, double value) override;
+
+    os::TokenId sensor_ = os::kInvalidToken;
+    double lastOrientation_ = 0.0;
+    std::uint64_t rotations_ = 0;
+    std::uint64_t clicks_ = 0;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_TAPANDTURN_H

@@ -1,0 +1,5 @@
+#include "apps/buggy/textsecure.h"
+
+// TextSecure is header-only; this TU anchors the module in the build.
+namespace leaseos::apps {
+} // namespace leaseos::apps

@@ -1,0 +1,67 @@
+#ifndef LEASEOS_APPS_BUGGY_TEXTSECURE_H
+#define LEASEOS_APPS_BUGGY_TEXTSECURE_H
+
+/**
+ * @file
+ * TextSecure model (Table 5 row; issue #2498 "battery usage is high").
+ * The websocket keep-alive loop reconnects in a tight cycle against an
+ * unreachable push endpoint while holding its wakelock → Low-Utility.
+ */
+
+#include "app/app.h"
+#include "os/binder.h"
+
+namespace leaseos::apps {
+
+/**
+ * Buggy TextSecure push connection.
+ */
+class TextSecure : public app::App
+{
+  public:
+    static constexpr const char *kServer = "push.textsecure.example";
+
+    TextSecure(app::AppContext &ctx, Uid uid)
+        : App(ctx, uid, "TextSecure") {}
+
+    void
+    start() override
+    {
+        lock_ = ctx_.powerManager().newWakeLock(
+            uid(), os::WakeLockType::Partial, "TextSecure:push");
+        ctx_.powerManager().acquire(lock_);
+        reconnect();
+    }
+
+    void
+    stop() override
+    {
+        stopped_ = true;
+        ctx_.powerManager().destroy(lock_);
+        App::stop();
+    }
+
+  private:
+    void
+    reconnect()
+    {
+        if (stopped_) return;
+        process_.computeScaled(0.6, sim::Time::fromMillis(150));
+        ctx_.network.httpRequest(
+            uid(), kServer, 4000, [this](env::NetResult result) {
+                process_.postNow([this, result] {
+                    if (stopped_) return;
+                    if (result != env::NetResult::Ok) throwSevere();
+                    process_.post(sim::Time::fromMillis(700),
+                                  [this] { reconnect(); });
+                });
+            });
+    }
+
+    os::TokenId lock_ = os::kInvalidToken;
+    bool stopped_ = false;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_TEXTSECURE_H

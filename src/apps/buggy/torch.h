@@ -1,0 +1,59 @@
+#ifndef LEASEOS_APPS_BUGGY_TORCH_H
+#define LEASEOS_APPS_BUGGY_TORCH_H
+
+/**
+ * @file
+ * Torch model (Table 5 row; CyanogenMod 2d5c64c "get the wakelock only if
+ * it isn't held already"). Turning the flashlight off leaves the wakelock
+ * held because of a double-acquire guard bug; the device then stays awake
+ * doing nothing at all → the cleanest Long-Holding case (§5.1's test app
+ * is modelled on it).
+ */
+
+#include "app/app.h"
+#include "os/binder.h"
+
+namespace leaseos::apps {
+
+/**
+ * Buggy Torch flashlight service.
+ */
+class Torch : public app::App
+{
+  public:
+    Torch(app::AppContext &ctx, Uid uid) : App(ctx, uid, "Torch") {}
+
+    void
+    start() override
+    {
+        lock_ = ctx_.powerManager().newWakeLock(
+            uid(), os::WakeLockType::Partial, "torch:FlashDevice");
+        // The user toggles the light on and quickly off again; the buggy
+        // guard skips the matching release.
+        ctx_.powerManager().acquire(lock_);
+        process_.post(sim::Time::fromSeconds(10.0), [this] {
+            flashlightOff();
+        });
+    }
+
+    void
+    stop() override
+    {
+        ctx_.powerManager().destroy(lock_);
+        App::stop();
+    }
+
+  private:
+    void
+    flashlightOff()
+    {
+        // Bug: "isHeld already" check short-circuits the release path;
+        // the lock stays held while the app does nothing further.
+    }
+
+    os::TokenId lock_ = os::kInvalidToken;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_TORCH_H

@@ -1,0 +1,5 @@
+#include "apps/buggy/where_app.h"
+
+// WhereApp is header-only; this TU anchors the module.
+namespace leaseos::apps {
+} // namespace leaseos::apps

@@ -1,0 +1,83 @@
+#ifndef LEASEOS_APPS_BUGGY_WHERE_APP_H
+#define LEASEOS_APPS_BUGGY_WHERE_APP_H
+
+/**
+ * @file
+ * WHERE travel app model (Table 5 row). Like BetterWeather it keeps
+ * re-asking for a GPS lock it cannot get, but with a tighter retry cycle
+ * and some per-attempt processing → Frequent-Ask.
+ */
+
+#include "app/app.h"
+#include "os/binder.h"
+#include "os/location_manager_service.h"
+
+namespace leaseos::apps {
+
+/**
+ * Buggy WHERE location poller.
+ */
+class WhereApp : public app::App, private os::LocationListener
+{
+  public:
+    WhereApp(app::AppContext &ctx, Uid uid) : App(ctx, uid, "WHERE") {}
+
+    void
+    start() override
+    {
+        ask();
+    }
+
+    void
+    stop() override
+    {
+        stopped_ = true;
+        if (request_ != os::kInvalidToken)
+            ctx_.locationManager().removeUpdates(request_);
+        App::stop();
+    }
+
+  private:
+    void
+    ask()
+    {
+        if (stopped_) return;
+        ++attempt_;
+        request_ = ctx_.locationManager().requestLocationUpdates(
+            uid(), sim::Time::fromSeconds(5.0), this);
+        process_.computeScaled(0.4, sim::Time::fromMillis(120));
+        std::uint64_t this_attempt = attempt_;
+        // Retry clock runs on wakeup alarms so it survives CPU sleep.
+        ctx_.alarmManager().setAlarm(
+            uid(), sim::Time::fromSeconds(30.0), true,
+            [this, this_attempt] {
+                if (stopped_ || this_attempt != attempt_) return;
+                ctx_.locationManager().removeUpdates(request_);
+                request_ = os::kInvalidToken;
+                ctx_.alarmManager().setAlarm(uid(),
+                                             sim::Time::fromSeconds(12.0),
+                                             true, [this] { ask(); });
+            });
+    }
+
+    void
+    onLocation(const GeoPoint &) override
+    {
+        ++attempt_; // cancel pending timeout path
+        uiUpdate();
+        if (request_ != os::kInvalidToken) {
+            ctx_.locationManager().removeUpdates(request_);
+            request_ = os::kInvalidToken;
+        }
+        ctx_.alarmManager().setAlarm(uid(), sim::Time::fromMinutes(10.0),
+                                     true, [this] { ask(); });
+    }
+
+    os::TokenId request_ = os::kInvalidToken;
+    std::uint64_t attempt_ = 0;
+    bool stopped_ = false;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_BUGGY_WHERE_APP_H

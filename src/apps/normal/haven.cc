@@ -1,0 +1,49 @@
+#include "apps/normal/haven.h"
+
+namespace leaseos::apps {
+
+using sim::operator""_s;
+
+void
+Haven::start()
+{
+    lastObservation_ = ctx_.sim.now();
+    // Monitoring runs as an Android foreground service (ongoing
+    // notification): the registration stays "bound" for the §3.3 metric.
+    ctx_.activityManager().activityStarted(uid());
+    lock_ = ctx_.powerManager().newWakeLock(
+        uid(), os::WakeLockType::Partial, "haven:monitor");
+    ctx_.powerManager().acquire(lock_);
+    analysisTick();
+    if (ctx_.leaseManager) {
+        ctx_.leaseManager->setUtility(uid(), lease::ResourceType::Sensor,
+                                      this);
+        ctx_.leaseManager->setUtility(uid(), lease::ResourceType::Wakelock,
+                                      this);
+    }
+    accel_ = ctx_.sensorManager().registerListener(
+        uid(), power::SensorType::Accelerometer, 1_s, this);
+    light_ = ctx_.sensorManager().registerListener(
+        uid(), power::SensorType::Light, 2_s, this);
+}
+
+void
+Haven::analysisTick()
+{
+    // Camera-frame / audio-level analysis: ~15 % of one core.
+    process_.compute(0.15, 1_s);
+    process_.post(1_s, [this] { analysisTick(); });
+}
+
+void
+Haven::stop()
+{
+    ctx_.activityManager().activityStopped(uid());
+    ctx_.sensorManager().unregisterListener(accel_);
+    ctx_.sensorManager().unregisterListener(light_);
+    ctx_.powerManager().release(lock_);
+    ctx_.powerManager().destroy(lock_);
+    App::stop();
+}
+
+} // namespace leaseos::apps

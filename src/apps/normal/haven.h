@@ -1,0 +1,75 @@
+#ifndef LEASEOS_APPS_NORMAL_HAVEN_H
+#define LEASEOS_APPS_NORMAL_HAVEN_H
+
+/**
+ * @file
+ * Haven model (§7.4): continuous intruder monitoring with sensors while
+ * the phone lies in a drawer — the hardest legitimate background case
+ * because there is deliberately no UI activity. It registers a custom
+ * utility counter reporting monitoring liveness (events logged), the §3.3
+ * escape hatch for semantically-useful silent work.
+ */
+
+#include <cstdint>
+
+#include "app/app.h"
+#include "common/utility_counter.h"
+#include "lease/lease_manager.h"
+#include "os/binder.h"
+#include "os/sensor_manager_service.h"
+
+namespace leaseos::apps {
+
+/**
+ * Well-behaved background monitor.
+ */
+class Haven : public app::App,
+              private os::SensorEventListener,
+              private IUtilityCounter
+{
+  public:
+    Haven(app::AppContext &ctx, Uid uid) : App(ctx, uid, "Haven") {}
+
+    void start() override;
+    void stop() override;
+
+    std::uint64_t observations() const { return observations_; }
+
+    /** True if monitoring has stopped receiving sensor data. */
+    bool
+    stalled() const
+    {
+        return (ctx_.sim.now() - lastObservation_).seconds() > 15.0;
+    }
+
+  private:
+    void analysisTick();
+
+    double
+    getScore() override
+    {
+        // Monitoring alive and logging = full marks; a stall is honest 0.
+        // Pure read: polled once per lease term per registered resource.
+        bool alive =
+            (ctx_.sim.now() - lastObservation_).seconds() < 10.0;
+        return alive ? 100.0 : 0.0;
+    }
+
+    void
+    onSensorEvent(power::SensorType, double) override
+    {
+        ++observations_;
+        lastObservation_ = ctx_.sim.now();
+        process_.computeScaled(0.15, sim::Time::fromMillis(4));
+    }
+
+    os::TokenId accel_ = os::kInvalidToken;
+    os::TokenId light_ = os::kInvalidToken;
+    os::TokenId lock_ = os::kInvalidToken;
+    std::uint64_t observations_ = 0;
+    sim::Time lastObservation_;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_NORMAL_HAVEN_H

@@ -1,0 +1,96 @@
+#include "apps/normal/runkeeper.h"
+
+namespace leaseos::apps {
+
+using sim::operator""_s;
+using sim::operator""_ms;
+
+RunKeeper::RunKeeper(app::AppContext &ctx, Uid uid)
+    : App(ctx, uid, "RunKeeper")
+{
+}
+
+void
+RunKeeper::start()
+{
+    started_ = ctx_.sim.now();
+    // Android requires an ongoing foreground service (with notification)
+    // for workout tracking; it keeps the listener "bound" in the §3.3
+    // utilisation sense.
+    ctx_.activityManager().activityStarted(uid());
+    lock_ = ctx_.powerManager().newWakeLock(
+        uid(), os::WakeLockType::Partial, "runkeeper:workout");
+    ctx_.powerManager().acquire(lock_);
+    fusionTick();
+    if (ctx_.leaseManager) {
+        ctx_.leaseManager->setUtility(uid(), lease::ResourceType::Gps,
+                                      this);
+        ctx_.leaseManager->setUtility(uid(), lease::ResourceType::Sensor,
+                                      this);
+        ctx_.leaseManager->setUtility(uid(), lease::ResourceType::Wakelock,
+                                      this);
+    }
+    gpsRequest_ = ctx_.locationManager().requestLocationUpdates(
+        uid(), 2_s, this);
+    accel_ = ctx_.sensorManager().registerListener(
+        uid(), power::SensorType::Accelerometer, 1_s, this);
+}
+
+void
+RunKeeper::fusionTick()
+{
+    // Continuous sensor-fusion / pace computation pipeline: ~12 % of one
+    // core — the CPU use that makes the wakelock hold legitimate.
+    process_.compute(0.12, 1_s);
+    process_.post(1_s, [this] { fusionTick(); });
+}
+
+void
+RunKeeper::stop()
+{
+    ctx_.activityManager().activityStopped(uid());
+    ctx_.locationManager().removeUpdates(gpsRequest_);
+    ctx_.sensorManager().unregisterListener(accel_);
+    ctx_.powerManager().release(lock_);
+    ctx_.powerManager().destroy(lock_);
+    App::stop();
+}
+
+double
+RunKeeper::getScore()
+{
+    // §3.3: tracking data written to the database recently, normalised.
+    // The score must be a pure read — the manager polls it once per lease
+    // term for each registered resource type.
+    bool writing =
+        (ctx_.sim.now() - lastWriteTime_).seconds() < 10.0;
+    return writing ? 100.0 : 0.0;
+}
+
+void
+RunKeeper::onLocation(const GeoPoint &)
+{
+    ++samples_;
+    lastWriteTime_ = ctx_.sim.now();
+    process_.computeScaled(0.4, 20_ms); // write trackpoint
+}
+
+void
+RunKeeper::onSensorEvent(power::SensorType, double)
+{
+    ++samples_;
+    lastWriteTime_ = ctx_.sim.now();
+    process_.computeScaled(0.2, 5_ms); // step counting
+}
+
+std::uint64_t
+RunKeeper::expectedSamples() const
+{
+    double elapsed = (ctx_.sim.now() - started_).seconds();
+    // 1 accel sample/s + 1 fix every 2 s once the receiver locks on
+    // (~8 s time-to-first-fix).
+    double gps = elapsed > 8.0 ? (elapsed - 8.0) / 2.0 : 0.0;
+    return static_cast<std::uint64_t>(elapsed + gps);
+}
+
+} // namespace leaseos::apps

@@ -1,0 +1,63 @@
+#ifndef LEASEOS_APPS_NORMAL_RUNKEEPER_H
+#define LEASEOS_APPS_NORMAL_RUNKEEPER_H
+
+/**
+ * @file
+ * RunKeeper model (§7.4 usability experiment): legitimate heavy background
+ * resource use. During a workout it records GPS + accelerometer under a
+ * wakelock and writes tracking samples to its database. It registers the
+ * §3.3 fitness-app custom utility — "the amount of tracking data written
+ * to the database in a period" — so a lease system sees the real value.
+ * Under LeaseOS it must run undisturbed; pure throttling breaks it.
+ */
+
+#include <cstdint>
+
+#include "app/app.h"
+#include "common/utility_counter.h"
+#include "lease/lease_manager.h"
+#include "os/binder.h"
+#include "os/location_manager_service.h"
+#include "os/sensor_manager_service.h"
+
+namespace leaseos::apps {
+
+/**
+ * Well-behaved fitness tracker.
+ */
+class RunKeeper : public app::App,
+                  private os::LocationListener,
+                  private os::SensorEventListener,
+                  private IUtilityCounter
+{
+  public:
+    RunKeeper(app::AppContext &ctx, Uid uid);
+
+    void start() override;
+    void stop() override;
+
+    std::uint64_t samplesWritten() const { return samples_; }
+
+    /**
+     * Samples that should have been written by now, given the configured
+     * rates — the usability metric compares this with samplesWritten().
+     */
+    std::uint64_t expectedSamples() const;
+
+  private:
+    double getScore() override;
+    void onLocation(const GeoPoint &point) override;
+    void onSensorEvent(power::SensorType type, double value) override;
+    void fusionTick();
+
+    os::TokenId lock_ = os::kInvalidToken;
+    os::TokenId gpsRequest_ = os::kInvalidToken;
+    os::TokenId accel_ = os::kInvalidToken;
+    std::uint64_t samples_ = 0;
+    sim::Time lastWriteTime_;
+    sim::Time started_;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_NORMAL_RUNKEEPER_H

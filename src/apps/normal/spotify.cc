@@ -1,0 +1,53 @@
+#include "apps/normal/spotify.h"
+
+namespace leaseos::apps {
+
+using sim::operator""_s;
+using sim::operator""_ms;
+
+void
+Spotify::start()
+{
+    // Media playback runs as a foreground service with a notification.
+    ctx_.activityManager().activityStarted(uid());
+    lock_ = ctx_.powerManager().newWakeLock(
+        uid(), os::WakeLockType::Partial, "spotify:playback");
+    ctx_.powerManager().acquire(lock_);
+    ctx_.audio().setPlaying(uid(), true);
+    lastChunk_ = ctx_.sim.now();
+    streamChunk();
+}
+
+void
+Spotify::stop()
+{
+    stopped_ = true;
+    ctx_.audio().setPlaying(uid(), false);
+    ctx_.powerManager().release(lock_);
+    ctx_.powerManager().destroy(lock_);
+    App::stop();
+}
+
+void
+Spotify::streamChunk()
+{
+    if (stopped_) return;
+    // Fetch ~10 s of audio, decode it, account the playback time. If the
+    // process is frozen (revoked wakelock under a throttler) the chain
+    // stalls and playedSeconds stops advancing — the disruption signal.
+    ctx_.network.httpRequest(
+        uid(), kServer, 400000, [this](env::NetResult result) {
+            process_.postNow([this, result] {
+                if (stopped_) return;
+                if (result == env::NetResult::Ok) {
+                    playedSeconds_ += 10.0;
+                    lastChunk_ = ctx_.sim.now();
+                    // Decoding: ~8 % of one core over the chunk.
+                    process_.compute(0.08, 10_s);
+                }
+                process_.post(10_s, [this] { streamChunk(); });
+            });
+        });
+}
+
+} // namespace leaseos::apps

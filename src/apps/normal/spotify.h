@@ -1,0 +1,53 @@
+#ifndef LEASEOS_APPS_NORMAL_SPOTIFY_H
+#define LEASEOS_APPS_NORMAL_SPOTIFY_H
+
+/**
+ * @file
+ * Spotify model (§7.4): background music streaming. Holds a wakelock,
+ * decodes continuously, pulls stream chunks over Wi-Fi, and keeps the
+ * audio path busy. High utilisation + clean work keeps its leases
+ * renewed; a time-based throttler kills the stream after its hold limit.
+ */
+
+#include <cstdint>
+
+#include "app/app.h"
+#include "os/binder.h"
+
+namespace leaseos::apps {
+
+/**
+ * Well-behaved background streamer.
+ */
+class Spotify : public app::App
+{
+  public:
+    static constexpr const char *kServer = "stream.spotify.example";
+
+    Spotify(app::AppContext &ctx, Uid uid) : App(ctx, uid, "Spotify") {}
+
+    void start() override;
+    void stop() override;
+
+    /** Seconds of music actually produced. */
+    double playedSeconds() const { return playedSeconds_; }
+
+    /** True if playback has stalled (no chunk decoded recently). */
+    bool
+    stalled() const
+    {
+        return (ctx_.sim.now() - lastChunk_).seconds() > 10.0;
+    }
+
+  private:
+    void streamChunk();
+
+    os::TokenId lock_ = os::kInvalidToken;
+    double playedSeconds_ = 0.0;
+    sim::Time lastChunk_;
+    bool stopped_ = false;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_NORMAL_SPOTIFY_H

@@ -1,0 +1,5 @@
+#include "apps/normal/trepn_profiler.h"
+
+// TrepnProfiler is header-only; this TU anchors the module.
+namespace leaseos::apps {
+} // namespace leaseos::apps

@@ -1,0 +1,75 @@
+#ifndef LEASEOS_APPS_NORMAL_TREPN_PROFILER_H
+#define LEASEOS_APPS_NORMAL_TREPN_PROFILER_H
+
+/**
+ * @file
+ * Trepn profiler model (§7.4's closing anecdote): a measurement app that
+ * samples system counters every 100 ms under a wakelock. Under pure
+ * throttling it "also stops collecting data, whereas it functions well
+ * under LeaseOS" — its steady CPU use keeps wakelock utilisation healthy.
+ */
+
+#include <cstdint>
+
+#include "app/app.h"
+#include "os/binder.h"
+
+namespace leaseos::apps {
+
+/**
+ * Well-behaved profiling tool.
+ */
+class TrepnProfiler : public app::App
+{
+  public:
+    TrepnProfiler(app::AppContext &ctx, Uid uid)
+        : App(ctx, uid, "Trepn Profiler") {}
+
+    void
+    start() override
+    {
+        lock_ = ctx_.powerManager().newWakeLock(
+            uid(), os::WakeLockType::Partial, "trepn:sampler");
+        ctx_.powerManager().acquire(lock_);
+        lastSample_ = ctx_.sim.now();
+        sample();
+    }
+
+    void
+    stop() override
+    {
+        stopped_ = true;
+        ctx_.powerManager().release(lock_);
+        ctx_.powerManager().destroy(lock_);
+        App::stop();
+    }
+
+    std::uint64_t samples() const { return samples_; }
+
+    bool
+    stalled() const
+    {
+        return (ctx_.sim.now() - lastSample_).seconds() > 5.0;
+    }
+
+  private:
+    void
+    sample()
+    {
+        if (stopped_) return;
+        ++samples_;
+        lastSample_ = ctx_.sim.now();
+        // Reading counters: ~10 % of a core continuously.
+        process_.compute(1.0, sim::Time::fromMillis(10));
+        process_.post(sim::Time::fromMillis(100), [this] { sample(); });
+    }
+
+    os::TokenId lock_ = os::kInvalidToken;
+    std::uint64_t samples_ = 0;
+    sim::Time lastSample_;
+    bool stopped_ = false;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_NORMAL_TREPN_PROFILER_H

@@ -1,0 +1,138 @@
+#include "apps/registry.h"
+
+#include <stdexcept>
+
+#include "apps/buggy/aimsicd.h"
+#include "apps/buggy/better_weather.h"
+#include "apps/buggy/bostonbusmap.h"
+#include "apps/buggy/connectbot_screen.h"
+#include "apps/buggy/connectbot_wifi.h"
+#include "apps/buggy/facebook.h"
+#include "apps/buggy/gpslogger.h"
+#include "apps/buggy/k9_mail.h"
+#include "apps/buggy/kontalk.h"
+#include "apps/buggy/mozstumbler.h"
+#include "apps/buggy/openscience_map.h"
+#include "apps/buggy/opengps_tracker.h"
+#include "apps/buggy/osmtracker.h"
+#include "apps/buggy/riot.h"
+#include "apps/buggy/serval_mesh.h"
+#include "apps/buggy/standup_timer.h"
+#include "apps/buggy/tapandturn.h"
+#include "apps/buggy/textsecure.h"
+#include "apps/buggy/torch.h"
+#include "apps/buggy/where_app.h"
+#include "apps/normal/generic_apps.h"
+
+namespace leaseos::apps {
+
+namespace {
+
+/** Shorthand: install an app of type T. */
+template <typename T>
+app::App &
+installApp(harness::Device &device)
+{
+    return device.install<T>();
+}
+
+void
+noTrigger(harness::Device &)
+{
+}
+
+void
+disconnectedNetwork(harness::Device &device)
+{
+    device.network().setConnected(false);
+}
+
+void
+weakGps(harness::Device &device)
+{
+    device.gpsEnv().setSignalGood(false);
+}
+
+std::vector<BuggyAppSpec>
+buildSpecs()
+{
+    std::vector<BuggyAppSpec> specs;
+
+    specs.push_back({"facebook", "Facebook", "social", "CPU", "LHB",
+                     installApp<Facebook>, noTrigger});
+    specs.push_back({"torch", "Torch", "tool", "CPU", "LHB",
+                     installApp<Torch>, noTrigger});
+    specs.push_back({"kontalk", "Kontalk", "messaging", "CPU", "LHB",
+                     installApp<Kontalk>, noTrigger});
+    specs.push_back({"k9", "K-9", "mail", "CPU", "LUB", installApp<K9Mail>,
+                     disconnectedNetwork});
+    specs.push_back({"servalmesh", "ServalMesh", "tool", "CPU", "LUB",
+                     installApp<ServalMesh>, disconnectedNetwork});
+    specs.push_back({"textsecure", "TextSecure", "messaging", "CPU", "LUB",
+                     installApp<TextSecure>, disconnectedNetwork});
+    specs.push_back({"connectbot-screen", "ConnectBot", "tool", "screen",
+                     "LHB", installApp<ConnectBotScreen>, noTrigger});
+    specs.push_back({"standup-timer", "Standup Timer", "productivity",
+                     "screen", "LHB", installApp<StandupTimer>, noTrigger});
+    specs.push_back({"connectbot-wifi", "ConnectBot", "tool", "Wi-Fi",
+                     "LHB", installApp<ConnectBotWifi>, noTrigger});
+    specs.push_back({"betterweather", "BetterWeather", "widget", "GPS",
+                     "FAB", installApp<BetterWeather>, weakGps});
+    specs.push_back({"where", "WHERE", "travel", "GPS", "FAB",
+                     installApp<WhereApp>, weakGps});
+    specs.push_back({"mozstumbler", "MozStumbler", "service", "GPS", "LHB",
+                     installApp<MozStumbler>, noTrigger});
+    specs.push_back({"osmtracker", "OSMTracker", "navigation", "GPS",
+                     "LHB", installApp<OsmTracker>, noTrigger});
+    specs.push_back({"gpslogger", "GPSLogger", "travel", "GPS", "LHB",
+                     installApp<GpsLogger>, noTrigger});
+    specs.push_back({"bostonbusmap", "BostonBusMap", "travel", "GPS",
+                     "LHB", installApp<BostonBusMap>, noTrigger});
+    specs.push_back({"aimsicd", "AIMSICD", "service", "GPS", "LUB",
+                     installApp<Aimsicd>, noTrigger});
+    specs.push_back({"opensciencemap", "OpenScienceMap", "navigation",
+                     "GPS", "LUB", installApp<OpenScienceMap>, noTrigger});
+    specs.push_back({"opengpstracker", "OpenGPSTracker", "travel", "GPS",
+                     "LUB", installApp<OpenGpsTracker>, noTrigger});
+    specs.push_back({"tapandturn", "TapAndTurn", "tool", "sensor", "LUB",
+                     installApp<TapAndTurn>, noTrigger});
+    specs.push_back({"riot", "Riot", "messaging", "sensor", "LUB",
+                     installApp<Riot>, noTrigger});
+    return specs;
+}
+
+} // namespace
+
+const std::vector<BuggyAppSpec> &
+table5Specs()
+{
+    static const std::vector<BuggyAppSpec> specs = buildSpecs();
+    return specs;
+}
+
+const BuggyAppSpec &
+buggySpec(const std::string &key)
+{
+    for (const auto &spec : table5Specs())
+        if (spec.key == key) return spec;
+    throw std::out_of_range("unknown buggy app: " + key);
+}
+
+std::vector<app::App *>
+installGenericFleet(harness::Device &device, int count)
+{
+    static const GenericKind kinds[] = {
+        GenericKind::Video, GenericKind::Browser, GenericKind::Game,
+        GenericKind::Music, GenericKind::News,    GenericKind::Social};
+    std::vector<app::App *> fleet;
+    for (int i = 0; i < count; ++i) {
+        GenericKind kind = kinds[i % 6];
+        std::string name = std::string(genericKindName(kind)) + "-" +
+            std::to_string(i / 6);
+        fleet.push_back(
+            &device.install<GenericInteractiveApp>(kind, name));
+    }
+    return fleet;
+}
+
+} // namespace leaseos::apps

@@ -1,0 +1,52 @@
+#ifndef LEASEOS_APPS_REGISTRY_H
+#define LEASEOS_APPS_REGISTRY_H
+
+/**
+ * @file
+ * The app corpus registry: the 20 Table 5 buggy apps with their metadata
+ * (category, resource, behaviour class) and trigger environments, plus
+ * factories for the normal-app population used by Figs. 11/13.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "app/app.h"
+#include "harness/device.h"
+
+namespace leaseos::apps {
+
+/**
+ * One Table 5 row: how to install the app and trigger its defect.
+ */
+struct BuggyAppSpec {
+    std::string key;      ///< short identifier, e.g. "k9"
+    std::string display;  ///< Table 5 app name
+    std::string category; ///< Table 5 category column
+    std::string resource; ///< Table 5 resource column
+    std::string behavior; ///< Table 5 behaviour column (LHB/LUB/FAB)
+
+    /** Install the app on a device (returns the app handle). */
+    std::function<app::App &(harness::Device &)> install;
+
+    /** Configure the environment that triggers the defect. */
+    std::function<void(harness::Device &)> trigger;
+};
+
+/** All 20 Table 5 rows, in the paper's order. */
+const std::vector<BuggyAppSpec> &table5Specs();
+
+/** Look up one row by key; throws std::out_of_range. */
+const BuggyAppSpec &buggySpec(const std::string &key);
+
+/**
+ * Install a population of @p count varied well-behaved apps (video,
+ * browser, game, music, news, social — cycling) for workload scripts.
+ */
+std::vector<app::App *> installGenericFleet(harness::Device &device,
+                                            int count);
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_REGISTRY_H

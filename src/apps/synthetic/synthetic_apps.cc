@@ -1,0 +1,212 @@
+#include "apps/synthetic/synthetic_apps.h"
+
+namespace leaseos::apps {
+
+using sim::operator""_ms;
+using sim::operator""_s;
+
+// ---- IntermittentMisbehaviorApp ------------------------------------------
+
+IntermittentMisbehaviorApp::IntermittentMisbehaviorApp(
+    app::AppContext &ctx, Uid uid, std::vector<sim::Time> sliceLengths)
+    : App(ctx, uid, "IntermittentTest"), slices_(std::move(sliceLengths))
+{
+}
+
+void
+IntermittentMisbehaviorApp::start()
+{
+    lock_ = ctx_.powerManager().newWakeLock(
+        uid(), os::WakeLockType::Partial, "test:intermittent");
+    ctx_.powerManager().acquire(lock_);
+    busyTick();
+    nextSlice();
+}
+
+void
+IntermittentMisbehaviorApp::nextSlice()
+{
+    if (index_ >= slices_.size()) return;
+    // Even slices misbehave (idle hold), odd slices behave (busy hold).
+    misbehaving_ = index_ % 2 == 0;
+    sim::Time length = slices_[index_++];
+    if (misbehaving_) misbehaveSeconds_ += length.seconds();
+    ctx_.sim.schedule(length, [this] { nextSlice(); });
+}
+
+void
+IntermittentMisbehaviorApp::busyTick()
+{
+    // Scheduled on the raw simulator: a frozen process must not stop the
+    // slice clock, only the work.
+    if (!misbehaving_)
+        ctx_.cpu.runWorkFor(uid(), 1.0, 500_ms);
+    ctx_.sim.schedule(1_s, [this] { busyTick(); });
+}
+
+// ---- MicrobenchApp -------------------------------------------------------
+
+void
+MicrobenchApp::start()
+{
+    round();
+}
+
+void
+MicrobenchApp::round()
+{
+    if (completed_ >= rounds_) return;
+    auto &pms = ctx_.powerManager();
+    auto &wms = ctx_.wifiManager();
+    auto &lms = ctx_.locationManager();
+    auto &sms = ctx_.sensorManager();
+
+    os::TokenId wl = pms.newWakeLock(uid(), os::WakeLockType::Partial,
+                                     "bench:wl");
+    pms.acquire(wl);
+    pms.release(wl);
+    pms.destroy(wl);
+
+    os::TokenId wifi = wms.createWifiLock(uid(), "bench:wifi");
+    wms.acquire(wifi);
+    wms.release(wifi);
+    wms.destroy(wifi);
+
+    os::TokenId gps = lms.requestLocationUpdates(uid(), 1_s, nullptr);
+    lms.removeUpdates(gps);
+    lms.destroy(gps);
+
+    os::TokenId sensor = sms.registerListener(
+        uid(), power::SensorType::Accelerometer, 1_s, nullptr);
+    sms.unregisterListener(sensor);
+    sms.destroy(sensor);
+
+    ++completed_;
+    process_.post(200_ms, [this] { round(); });
+}
+
+// ---- InteractionFlowApp ---------------------------------------------------
+
+namespace {
+
+/** Sensor listener that fires a callback on the first event. */
+struct OneShotSensorListener : os::SensorEventListener {
+    std::function<void()> fn;
+
+    void
+    onSensorEvent(power::SensorType, double) override
+    {
+        if (fn) {
+            auto f = std::move(fn);
+            fn = nullptr;
+            f();
+        }
+    }
+};
+
+/** Location listener that fires a callback on the first fix. */
+struct OneShotLocationListener : os::LocationListener {
+    std::function<void()> fn;
+
+    void
+    onLocation(const GeoPoint &) override
+    {
+        if (fn) {
+            auto f = std::move(fn);
+            fn = nullptr;
+            f();
+        }
+    }
+};
+
+} // namespace
+
+InteractionFlowApp::InteractionFlowApp(app::AppContext &ctx, Uid uid,
+                                       Flavor flavor)
+    : App(ctx, uid,
+          flavor == Flavor::Sensor
+              ? "SensorFlow"
+              : (flavor == Flavor::Wakelock ? "WakelockFlow" : "GpsFlow")),
+      flavor_(flavor)
+{
+}
+
+void
+InteractionFlowApp::start()
+{
+    // The flow apps act in the foreground: keep the screen path realistic.
+    ctx_.activityManager().activityStarted(uid());
+    if (flavor_ == Flavor::Gps) {
+        // A navigation app in active use: keeps a warm fix (so flows
+        // measure hot-GPS latency, Fig. 14's ~2.8 s bar, not a cold
+        // TTFF) and redraws its map — the UI evidence that keeps the
+        // persistent request's utility high.
+        ctx_.locationManager().requestLocationUpdates(uid(), 5_s, nullptr);
+        redrawTick();
+    }
+}
+
+void
+InteractionFlowApp::redrawTick()
+{
+    uiUpdate();
+    process_.post(2_s, [this] { redrawTick(); });
+}
+
+void
+InteractionFlowApp::runFlow(std::function<void(sim::Time)> done)
+{
+    sim::Time t0 = ctx_.sim.now();
+    auto finish = [this, t0, done = std::move(done)] {
+        uiUpdate();
+        sim::Time latency = ctx_.sim.now() - t0;
+        latencies_.record(latency.seconds() * 1000.0);
+        if (done) done(latency);
+    };
+
+    switch (flavor_) {
+      case Flavor::Sensor: {
+        // Click → register listener → first sample → UI update.
+        auto *listener = new OneShotSensorListener();
+        os::TokenId reg = ctx_.sensorManager().registerListener(
+            uid(), power::SensorType::Accelerometer, 50_ms, listener);
+        listener->fn = [this, reg, listener, finish] {
+            ctx_.sensorManager().unregisterListener(reg);
+            process_.postNow([finish, listener] {
+                finish();
+                delete listener;
+            });
+        };
+        break;
+      }
+      case Flavor::Wakelock: {
+        // Click → acquire → ~2.2 s of guarded work → UI update → release.
+        os::TokenId lock = ctx_.powerManager().newWakeLock(
+            uid(), os::WakeLockType::Partial, "flow:wl");
+        ctx_.powerManager().acquire(lock);
+        process_.compute(1.0, 2200_ms);
+        process_.post(2200_ms, [this, lock, finish] {
+            finish();
+            ctx_.powerManager().release(lock);
+            ctx_.powerManager().destroy(lock);
+        });
+        break;
+      }
+      case Flavor::Gps: {
+        // Click → request updates → next fix → UI update.
+        auto *listener = new OneShotLocationListener();
+        os::TokenId req = ctx_.locationManager().requestLocationUpdates(
+            uid(), 2750_ms, listener);
+        listener->fn = [this, req, listener, finish] {
+            ctx_.locationManager().removeUpdates(req);
+            process_.postNow([finish, listener] {
+                finish();
+                delete listener;
+            });
+        };
+        break;
+      }
+    }
+}
+
+} // namespace leaseos::apps

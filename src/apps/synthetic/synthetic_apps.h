@@ -1,0 +1,134 @@
+#ifndef LEASEOS_APPS_SYNTHETIC_SYNTHETIC_APPS_H
+#define LEASEOS_APPS_SYNTHETIC_SYNTHETIC_APPS_H
+
+/**
+ * @file
+ * Synthetic test apps from the paper's own methodology:
+ *  - LongHoldingTestApp: §5.1's Torch-based validation app ("acquires a
+ *    wakelock and holds it for 30 minutes without doing anything") behind
+ *    Fig. 9;
+ *  - IntermittentMisbehaviorApp: Fig. 12's generator of random
+ *    misbehaving/normal slices (1000 of each, 0-10 min long);
+ *  - MicrobenchApp: Table 4's test app that "acquires and releases
+ *    different resources 20 times";
+ *  - InteractionFlowApp: Fig. 14's three representative apps whose
+ *    click → resource-op → UI-update flow measures end-to-end latency.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "app/app.h"
+#include "os/binder.h"
+#include "os/location_manager_service.h"
+#include "os/sensor_manager_service.h"
+#include "sim/stats.h"
+
+namespace leaseos::apps {
+
+/**
+ * §5.1 validation app: hold a wakelock, do nothing, never release.
+ */
+class LongHoldingTestApp : public app::App
+{
+  public:
+    LongHoldingTestApp(app::AppContext &ctx, Uid uid,
+                       sim::Time holdFor = sim::Time::fromMinutes(30.0))
+        : App(ctx, uid, "LongHoldingTest"), holdFor_(holdFor) {}
+
+    void
+    start() override
+    {
+        lock_ = ctx_.powerManager().newWakeLock(
+            uid(), os::WakeLockType::Partial, "test:longhold");
+        ctx_.powerManager().acquire(lock_);
+        // The app never calls release; holdFor_ is just the experiment
+        // length and is tracked by the bench, not the app.
+    }
+
+    os::TokenId token() const { return lock_; }
+
+  private:
+    sim::Time holdFor_;
+    os::TokenId lock_ = os::kInvalidToken;
+};
+
+/**
+ * Fig. 12 generator: random alternating misbehaviour/normal slices.
+ *
+ * During a misbehaving slice the app holds its wakelock idle; during a
+ * normal slice it runs a healthy duty cycle on it.
+ */
+class IntermittentMisbehaviorApp : public app::App
+{
+  public:
+    IntermittentMisbehaviorApp(app::AppContext &ctx, Uid uid,
+                               std::vector<sim::Time> sliceLengths);
+
+    void start() override;
+
+    bool misbehaving() const { return misbehaving_; }
+
+    /** Total time spent in misbehaving slices so far (seconds). */
+    double misbehaveSeconds() const { return misbehaveSeconds_; }
+
+  private:
+    void nextSlice();
+    void busyTick();
+
+    std::vector<sim::Time> slices_;
+    std::size_t index_ = 0;
+    bool misbehaving_ = false;
+    double misbehaveSeconds_ = 0.0;
+    os::TokenId lock_ = os::kInvalidToken;
+};
+
+/**
+ * Table 4 micro-benchmark driver: acquire/release each resource N times.
+ */
+class MicrobenchApp : public app::App
+{
+  public:
+    MicrobenchApp(app::AppContext &ctx, Uid uid, int rounds = 20)
+        : App(ctx, uid, "Microbench"), rounds_(rounds) {}
+
+    void start() override;
+
+    int completedRounds() const { return completed_; }
+
+  private:
+    void round();
+
+    int rounds_;
+    int completed_ = 0;
+};
+
+/**
+ * Fig. 14 app: a user-visible flow (click → resource op → work → UI
+ * update) whose end-to-end latency the latency bench records.
+ */
+class InteractionFlowApp : public app::App
+{
+  public:
+    enum class Flavor { Sensor, Wakelock, Gps };
+
+    InteractionFlowApp(app::AppContext &ctx, Uid uid, Flavor flavor);
+
+    void start() override;
+
+    /** Run one flow; @p done receives the end-to-end latency. */
+    void runFlow(std::function<void(sim::Time)> done);
+
+    const sim::Accumulator &latencies() const { return latencies_; }
+
+  private:
+    void redrawTick();
+
+    Flavor flavor_;
+    sim::Accumulator latencies_;
+};
+
+} // namespace leaseos::apps
+
+#endif // LEASEOS_APPS_SYNTHETIC_SYNTHETIC_APPS_H

@@ -1,0 +1,32 @@
+#ifndef LEASEOS_COMMON_GEO_H
+#define LEASEOS_COMMON_GEO_H
+
+/**
+ * @file
+ * Planar geographic coordinates.
+ *
+ * Locations are modelled on a local tangent plane in metres, which is all
+ * the GPS utility metric needs: the paper uses "the distance moved for the
+ * utility of GPS" (§3.3), i.e. metres between consecutive fixes.
+ */
+
+#include <cmath>
+
+namespace leaseos {
+
+/** A position on a local metre grid. */
+struct GeoPoint {
+    double x = 0.0; ///< metres east
+    double y = 0.0; ///< metres north
+};
+
+/** Euclidean distance between two points, metres. */
+inline double
+distanceMeters(const GeoPoint &a, const GeoPoint &b)
+{
+    return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+} // namespace leaseos
+
+#endif // LEASEOS_COMMON_GEO_H

@@ -1,0 +1,28 @@
+#ifndef LEASEOS_COMMON_IDS_H
+#define LEASEOS_COMMON_IDS_H
+
+/**
+ * @file
+ * Identifier types shared across subsystems.
+ *
+ * Android attributes resource usage and energy to Linux uids; the lease
+ * manager records the lease holder by uid (Table 3: create(rtype, uid)).
+ * We use the same convention throughout the simulator.
+ */
+
+#include <cstdint>
+
+namespace leaseos {
+
+/** App / system identity, mirroring Android's Linux uid convention. */
+using Uid = std::int32_t;
+
+constexpr Uid kInvalidUid = -1;
+/** The system_server identity; unattributable power lands here. */
+constexpr Uid kSystemUid = 1000;
+/** First uid handed to installed apps (Android starts at 10000). */
+constexpr Uid kFirstAppUid = 10000;
+
+} // namespace leaseos
+
+#endif // LEASEOS_COMMON_IDS_H

@@ -1,0 +1,31 @@
+#ifndef LEASEOS_COMMON_UTILITY_COUNTER_H
+#define LEASEOS_COMMON_UTILITY_COUNTER_H
+
+/**
+ * @file
+ * The optional app-provided custom utility interface (paper's
+ * IUtilityCounter, §3.3 / Fig. 6).
+ *
+ * Apps that want the lease manager to understand their semantics implement
+ * getScore() returning 0-100 (e.g. TapAndTurn returns clicks per rotation
+ * icon shown × 100). The score is only a *hint*: LeaseOS consults it only
+ * when the generic utility is not already too low, to prevent abuse.
+ */
+
+namespace leaseos {
+
+/**
+ * App-defined utility scoring callback.
+ */
+class IUtilityCounter
+{
+  public:
+    virtual ~IUtilityCounter() = default;
+
+    /** @return utility in [0, 100]; higher = more user value. */
+    virtual double getScore() = 0;
+};
+
+} // namespace leaseos
+
+#endif // LEASEOS_COMMON_UTILITY_COUNTER_H

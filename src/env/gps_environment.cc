@@ -1,0 +1,5 @@
+#include "env/gps_environment.h"
+
+// GpsEnvironment is header-only; this TU anchors the module in the build.
+namespace leaseos::env {
+} // namespace leaseos::env

@@ -1,0 +1,5 @@
+#include "env/motion_model.h"
+
+// MotionModel is header-only; this TU anchors the module in the build.
+namespace leaseos::env {
+} // namespace leaseos::env

@@ -1,0 +1,103 @@
+#ifndef LEASEOS_ENV_MOTION_MODEL_H
+#define LEASEOS_ENV_MOTION_MODEL_H
+
+/**
+ * @file
+ * Device motion environment.
+ *
+ * Two consumers: SensorManagerService pulls synthetic readings here, and
+ * Doze's idle detector needs "no angle change in 4 minutes" (§7.3) — i.e.
+ * a stationary device — plus significant-motion exits.
+ */
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "power/sensor_model.h"
+#include "sim/simulator.h"
+
+namespace leaseos::env {
+
+/**
+ * Stationary/moving state with synthetic sensor readings.
+ */
+class MotionModel
+{
+  public:
+    explicit MotionModel(sim::Simulator &sim) : sim_(sim)
+    {
+        lastMotion_ = sim.now();
+    }
+
+    /** Flip device motion; entering motion notifies listeners. */
+    void
+    setStationary(bool stationary)
+    {
+        if (stationary == stationary_) return;
+        stationary_ = stationary;
+        if (!stationary_) {
+            lastMotion_ = sim_.now();
+            for (const auto &fn : motionListeners_) fn();
+        }
+    }
+
+    bool stationary() const { return stationary_; }
+
+    /** Time since the device last moved. */
+    sim::Time
+    stillFor() const
+    {
+        return stationary_ ? sim_.now() - lastMotion_ : sim::Time::zero();
+    }
+
+    /** Significant-motion callbacks (Doze exit trigger). */
+    void
+    addMotionListener(std::function<void()> fn)
+    {
+        motionListeners_.push_back(std::move(fn));
+    }
+
+    /**
+     * Synthetic sensor reading: stationary devices report a constant,
+     * moving devices a time-varying value (so orientation-change handlers
+     * in apps see activity).
+     */
+    double
+    reading(power::SensorType type, sim::Time t) const
+    {
+        if (stationary_) {
+            // Micro-movements below the significant-motion threshold: a
+            // pocketed phone still shuffles orientation occasionally.
+            if (type == power::SensorType::Orientation) {
+                return static_cast<double>(
+                    static_cast<int>(t.seconds() / 120.0) % 4) * 90.0;
+            }
+            return 0.0;
+        }
+        double phase = t.seconds();
+        switch (type) {
+          case power::SensorType::Accelerometer:
+            return 2.0 * std::sin(phase);
+          case power::SensorType::Orientation:
+            // Quantised heading that flips every ~20 s of movement.
+            return static_cast<double>(
+                static_cast<int>(phase / 20.0) % 4) * 90.0;
+          case power::SensorType::Gyroscope:
+            return 0.5 * std::cos(phase);
+          case power::SensorType::Light:
+            return 120.0;
+        }
+        return 0.0;
+    }
+
+  private:
+    sim::Simulator &sim_;
+    bool stationary_ = true;
+    sim::Time lastMotion_;
+    std::vector<std::function<void()>> motionListeners_;
+};
+
+} // namespace leaseos::env
+
+#endif // LEASEOS_ENV_MOTION_MODEL_H

@@ -1,0 +1,106 @@
+#ifndef LEASEOS_ENV_NETWORK_ENVIRONMENT_H
+#define LEASEOS_ENV_NETWORK_ENVIRONMENT_H
+
+/**
+ * @file
+ * Network connectivity and server-health environment.
+ *
+ * Two of the paper's trigger conditions live here: "the network is
+ * disconnected" (K-9's LUB spin) and "the mail server fails" (K-9's LHB
+ * wait). Requests behave accordingly:
+ *  - disconnected: fail fast with Disconnected (cheap, so a buggy retry
+ *    loop burns CPU, not radio);
+ *  - unhealthy server: time out after a long server timeout (the app waits
+ *    holding its wakelock, CPU mostly idle);
+ *  - healthy: transfer over the radio model and complete with Ok.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "power/radio_model.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace leaseos::env {
+
+/** Completion status of a network request. */
+enum class NetResult { Ok, Timeout, IoError, Disconnected };
+
+const char *netResultName(NetResult r);
+
+/**
+ * Scriptable connectivity + per-server health model.
+ */
+class NetworkEnvironment
+{
+  public:
+    /** How long an unhealthy server stalls a request before timeout. */
+    static constexpr sim::Time kServerTimeout = sim::Time::fromSeconds(25.0);
+
+    /** Round-trip latency of a healthy request (before transfer time). */
+    static constexpr sim::Time kServerLatency =
+        sim::Time::fromMillis(200);
+
+    /** How fast a disconnected request fails locally. */
+    static constexpr sim::Time kFastFail = sim::Time::fromMillis(20);
+
+    NetworkEnvironment(sim::Simulator &sim, power::RadioModel &radio,
+                       sim::RandomSource &rng);
+
+    // ---- Environment scripting ------------------------------------------
+
+    void setConnected(bool connected);
+    bool connected() const { return connected_; }
+
+    void setServerHealthy(const std::string &server, bool healthy);
+    bool serverHealthy(const std::string &server) const;
+
+    /**
+     * Make a server *flaky*: each request independently times out with
+     * probability @p failProbability (0 clears flakiness). This is the
+     * Fig. 2 condition — a bad mail server that intermittently answers,
+     * producing intermittent long wakelock holds.
+     */
+    void setServerFailProbability(const std::string &server,
+                                  double failProbability);
+
+    /** Notified on connectivity flips (apps re-sync on reconnect). */
+    void addConnectivityListener(std::function<void(bool)> fn);
+
+    // ---- App-facing request API -----------------------------------------
+
+    /**
+     * Issue an async request of @p bytes to @p server for @p uid; @p cb
+     * runs with the outcome. The callback is invoked from a simulator
+     * event — apps should wrap it through their AppProcess if they need
+     * CPU-sleep pause semantics.
+     */
+    void httpRequest(Uid uid, const std::string &server,
+                     std::uint64_t bytes,
+                     std::function<void(NetResult)> cb);
+
+    // ---- Stats -----------------------------------------------------------
+
+    std::uint64_t requestCount(Uid uid) const;
+    std::uint64_t failureCount(Uid uid) const;
+
+  private:
+    sim::Simulator &sim_;
+    power::RadioModel &radio_;
+    sim::RandomSource &rng_;
+    bool connected_ = true;
+    std::map<std::string, bool> serverHealth_;
+    std::map<std::string, double> serverFlaky_;
+    std::vector<std::function<void(bool)>> listeners_;
+    std::map<Uid, std::uint64_t> requestCount_;
+    std::map<Uid, std::uint64_t> failureCount_;
+};
+
+} // namespace leaseos::env
+
+#endif // LEASEOS_ENV_NETWORK_ENVIRONMENT_H

@@ -1,0 +1,96 @@
+#include "env/user_model.h"
+
+#include <utility>
+
+namespace leaseos::env {
+
+UserModel::UserModel(sim::Simulator &sim, os::ActivityManagerService &am,
+                     os::DisplayManagerService &dm, MotionModel &motion,
+                     sim::RandomSource &rng)
+    : sim_(sim), am_(am), dm_(dm), motion_(motion), rng_(rng)
+{
+}
+
+void
+UserModel::scheduleSession(sim::Time start, sim::Time duration,
+                           std::vector<Uid> apps)
+{
+    sim_.schedule(start, [this, duration, apps = std::move(apps)]() mutable {
+        beginSession(duration, std::move(apps));
+    });
+}
+
+void
+UserModel::beginSession(sim::Time duration, std::vector<Uid> apps)
+{
+    if (active_ || apps.empty()) return;
+    active_ = true;
+    sessionEnd_ = sim_.now() + duration;
+    sessionApps_ = std::move(apps);
+    appIndex_ = 0;
+
+    motion_.setStationary(false);
+    dm_.userSetScreen(true);
+
+    currentApp_ = sessionApps_[0];
+    am_.setForeground(currentApp_);
+    am_.activityStarted(currentApp_);
+
+    // Interaction and app-switch loops, plus the session end.
+    sim_.schedule(interactionInterval_, [this] { interact(); });
+    sim_.schedule(switchInterval_, [this] { switchApp(); });
+    sim_.schedule(duration, [this] { endSession(); });
+}
+
+void
+UserModel::endSession()
+{
+    if (!active_) return;
+    active_ = false;
+    if (currentApp_ != kInvalidUid) am_.activityStopped(currentApp_);
+    am_.setForeground(kInvalidUid);
+    dm_.userSetScreen(false);
+    motion_.setStationary(true);
+    currentApp_ = kInvalidUid;
+}
+
+void
+UserModel::switchApp()
+{
+    if (!active_) return;
+    if (sessionApps_.size() > 1) {
+        am_.activityStopped(currentApp_);
+        appIndex_ = (appIndex_ + 1) % sessionApps_.size();
+        currentApp_ = sessionApps_[appIndex_];
+        am_.setForeground(currentApp_);
+        am_.activityStarted(currentApp_);
+    }
+    // Jitter the next switch a little so runs don't phase-lock.
+    sim::Time next = switchInterval_ +
+        rng_.uniformTime(sim::Time::zero(), switchInterval_ / 4.0);
+    if (sim_.now() + next < sessionEnd_)
+        sim_.schedule(next, [this] { switchApp(); });
+}
+
+void
+UserModel::interact()
+{
+    if (!active_) return;
+    ++interactions_;
+    am_.noteUserInteraction(currentApp_);
+    am_.noteUiUpdate(currentApp_);
+    auto it = handlers_.find(currentApp_);
+    if (it != handlers_.end() && it->second) it->second();
+    sim::Time next = interactionInterval_ +
+        rng_.uniformTime(sim::Time::zero(), interactionInterval_ / 2.0);
+    if (sim_.now() + next < sessionEnd_)
+        sim_.schedule(next, [this] { interact(); });
+}
+
+void
+UserModel::setInteractionHandler(Uid uid, std::function<void()> fn)
+{
+    handlers_[uid] = std::move(fn);
+}
+
+} // namespace leaseos::env

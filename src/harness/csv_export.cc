@@ -1,0 +1,55 @@
+#include "harness/csv_export.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
+namespace leaseos::harness {
+
+std::string
+csvOutputDir()
+{
+    const char *dir = std::getenv("LEASEOS_OUT");
+    return dir ? std::string(dir) : std::string();
+}
+
+bool
+maybeWriteCsv(const std::string &name, const sim::TimeSeries &series)
+{
+    return maybeWriteCsv(name, std::vector<const sim::TimeSeries *>{
+                                   &series});
+}
+
+bool
+maybeWriteCsv(const std::string &name,
+              const std::vector<const sim::TimeSeries *> &series)
+{
+    std::string dir = csvOutputDir();
+    if (dir.empty()) return false;
+    std::ofstream out(dir + "/" + name + ".csv");
+    if (!out) return false;
+
+    out << "time_s";
+    for (const auto *s : series)
+        out << "," << (s->name().empty() ? "value" : s->name());
+    out << "\n";
+
+    // Union of timestamps; blank cells where a series has no sample.
+    std::map<std::int64_t, std::vector<std::string>> rows;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        for (const auto &p : series[i]->points()) {
+            auto &row = rows[p.t.nanos()];
+            row.resize(series.size());
+            row[i] = std::to_string(p.value);
+        }
+    }
+    for (auto &[ns, row] : rows) {
+        row.resize(series.size());
+        out << static_cast<double>(ns) / 1e9;
+        for (const auto &cell : row) out << "," << cell;
+        out << "\n";
+    }
+    return true;
+}
+
+} // namespace leaseos::harness

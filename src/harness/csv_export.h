@@ -1,0 +1,35 @@
+#ifndef LEASEOS_HARNESS_CSV_EXPORT_H
+#define LEASEOS_HARNESS_CSV_EXPORT_H
+
+/**
+ * @file
+ * Optional CSV export for figure data.
+ *
+ * The bench binaries print text figures; when the LEASEOS_OUT environment
+ * variable names a directory they additionally drop the raw series there
+ * as CSV for external plotting.
+ */
+
+#include <string>
+#include <vector>
+
+#include "sim/time_series.h"
+
+namespace leaseos::harness {
+
+/** Directory from $LEASEOS_OUT, or empty when export is disabled. */
+std::string csvOutputDir();
+
+/**
+ * Write @p series as "<dir>/<name>.csv" when export is enabled.
+ * @retval true if a file was written.
+ */
+bool maybeWriteCsv(const std::string &name, const sim::TimeSeries &series);
+
+/** Multi-series variant: one shared time column per row. */
+bool maybeWriteCsv(const std::string &name,
+                   const std::vector<const sim::TimeSeries *> &series);
+
+} // namespace leaseos::harness
+
+#endif // LEASEOS_HARNESS_CSV_EXPORT_H

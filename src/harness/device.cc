@@ -1,0 +1,111 @@
+#include "harness/device.h"
+
+namespace leaseos::harness {
+
+const char *
+mitigationModeName(MitigationMode m)
+{
+    switch (m) {
+      case MitigationMode::None: return "w/o lease";
+      case MitigationMode::LeaseOS: return "LeaseOS";
+      case MitigationMode::Doze: return "Doze";
+      case MitigationMode::DozeAggressive: return "Doze*";
+      case MitigationMode::DefDroid: return "DefDroid";
+      case MitigationMode::OneShotThrottle: return "Throttle";
+    }
+    return "?";
+}
+
+Device::Device(DeviceConfig config)
+    : config_(std::move(config)), rng_(config_.seed)
+{
+    accountant_ = std::make_unique<power::EnergyAccountant>(sim_);
+    cpu_ = std::make_unique<power::CpuModel>(sim_, *accountant_,
+                                             config_.profile);
+    if (config_.dvfsEnabled) cpu_->setDvfsEnabled(true);
+    screen_ = std::make_unique<power::ScreenModel>(sim_, *accountant_,
+                                                   config_.profile);
+    gps_ = std::make_unique<power::GpsModel>(sim_, *accountant_,
+                                             config_.profile);
+    radio_ = std::make_unique<power::RadioModel>(sim_, *accountant_,
+                                                 config_.profile);
+    sensors_ = std::make_unique<power::SensorModel>(sim_, *accountant_,
+                                                    config_.profile);
+    audio_ = std::make_unique<power::AudioModel>(sim_, *accountant_,
+                                                 config_.profile);
+    bluetooth_ = std::make_unique<power::BluetoothModel>(
+        sim_, *accountant_, config_.profile);
+    battery_ = std::make_unique<power::Battery>(*accountant_,
+                                                config_.profile);
+    profiler_ = std::make_unique<power::PowerProfiler>(
+        sim_, *accountant_, config_.profilerPeriod);
+
+    server_ = std::make_unique<os::SystemServer>(
+        sim_, *cpu_, *screen_, *gps_, *radio_, *sensors_, *audio_,
+        *bluetooth_, *accountant_);
+
+    network_ =
+        std::make_unique<env::NetworkEnvironment>(sim_, *radio_, rng_);
+    gpsEnv_ = std::make_unique<env::GpsEnvironment>(sim_, *gps_);
+    motion_ = std::make_unique<env::MotionModel>(sim_);
+    user_ = std::make_unique<env::UserModel>(
+        sim_, server_->activityManager(), server_->displayManager(),
+        *motion_, rng_);
+
+    // Wire environment providers into services.
+    server_->locationManager().setPositionFn(
+        [this](sim::Time t) { return gpsEnv_->positionAt(t); });
+    server_->sensorManager().setReadingFn(
+        [this](power::SensorType type, sim::Time t) {
+            return motion_->reading(type, t);
+        });
+
+    switch (config_.mode) {
+      case MitigationMode::None:
+        break;
+      case MitigationMode::LeaseOS:
+        leaseos_ = std::make_unique<lease::LeaseOsRuntime>(
+            sim_, *cpu_, *radio_, *server_, config_.leasePolicy);
+        break;
+      case MitigationMode::Doze:
+        doze_ = std::make_unique<mitigation::DozeController>(
+            sim_, *server_, *motion_, config_.dozeConfig);
+        break;
+      case MitigationMode::DozeAggressive: {
+        mitigation::DozeConfig aggressive = config_.dozeConfig;
+        aggressive.aggressive = true;
+        doze_ = std::make_unique<mitigation::DozeController>(
+            sim_, *server_, *motion_, aggressive);
+        break;
+      }
+      case MitigationMode::DefDroid:
+        defdroid_ = std::make_unique<mitigation::DefDroidController>(
+            sim_, *server_, config_.defdroidConfig);
+        break;
+      case MitigationMode::OneShotThrottle:
+        throttler_ = std::make_unique<mitigation::OneShotThrottler>(
+            sim_, *server_, config_.throttleHoldLimit);
+        break;
+    }
+
+    context_ = std::make_unique<app::AppContext>(app::AppContext{
+        sim_, *cpu_, *server_, *network_, *gpsEnv_, *motion_, *user_,
+        rng_, config_.profile,
+        leaseos_ ? &leaseos_->manager() : nullptr});
+}
+
+Device::~Device() = default;
+
+void
+Device::start()
+{
+    if (started_) return;
+    started_ = true;
+    profiler_->start();
+    if (doze_) doze_->start();
+    if (defdroid_) defdroid_->start();
+    if (throttler_) throttler_->start();
+    for (auto &app : apps_) app->start();
+}
+
+} // namespace leaseos::harness

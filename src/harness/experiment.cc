@@ -1,0 +1,67 @@
+#include "harness/experiment.h"
+
+#include "apps/registry.h"
+
+namespace leaseos::harness {
+
+void
+installGlanceScript(Device &device, const MitigationRunOptions &opt)
+{
+    if (!opt.userGlances) return;
+    auto &sim = device.simulator();
+    auto &dms = device.server().displayManager();
+    auto &motion = device.motion();
+    sim::Time length = opt.glanceLength;
+    sim.schedulePeriodic(opt.glanceInterval, [&sim, &dms, &motion,
+                                              length] {
+        // Pick up the phone: motion, then screen for a moment.
+        motion.setStationary(false);
+        dms.userSetScreen(true);
+        sim.schedule(length, [&dms, &motion] {
+            dms.userSetScreen(false);
+            motion.setStationary(true);
+        });
+        return true;
+    });
+}
+
+MitigationRunResult
+runMitigationCell(const apps::BuggyAppSpec &spec, MitigationMode mode,
+                  const MitigationRunOptions &opt)
+{
+    DeviceConfig cfg;
+    cfg.mode = mode;
+    cfg.profile = opt.profile;
+    cfg.seed = opt.seed;
+    Device device(cfg);
+
+    spec.trigger(device);
+    app::App &app = spec.install(device);
+    installGlanceScript(device, opt);
+
+    MitigationRunResult result;
+    if (device.leaseos()) {
+        device.leaseos()->manager().setTermObserver(
+            [&result](const lease::Lease &, const lease::TermRecord &rec) {
+                ++result.behaviorCounts[rec.behavior];
+            });
+    }
+
+    device.start();
+    device.runFor(opt.duration);
+
+    result.appPowerMw = device.appPowerMw(app.uid());
+    result.systemPowerMw = device.profiler().averageTotalPowerMw();
+    if (device.leaseos())
+        result.deferrals = device.leaseos()->manager().totalDeferrals();
+    return result;
+}
+
+double
+reductionPercent(double baselineMw, double mitigatedMw)
+{
+    if (baselineMw <= 0.0) return 0.0;
+    return 100.0 * (1.0 - mitigatedMw / baselineMw);
+}
+
+} // namespace leaseos::harness

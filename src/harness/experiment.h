@@ -1,0 +1,65 @@
+#ifndef LEASEOS_HARNESS_EXPERIMENT_H
+#define LEASEOS_HARNESS_EXPERIMENT_H
+
+/**
+ * @file
+ * Experiment runners shared by the bench binaries and integration tests.
+ *
+ * The central one reproduces a Table 5 cell: run one buggy app for 30
+ * minutes under a mitigation mode on a Pixel XL, sampling power every
+ * 100 ms, with a background "lightly attended device" script (occasional
+ * glances / pocket movement) that gives Doze its realistic interruptions.
+ */
+
+#include <map>
+#include <string>
+
+#include "harness/device.h"
+#include "lease/behavior.h"
+#include "sim/time.h"
+
+namespace leaseos::apps {
+struct BuggyAppSpec;
+} // namespace leaseos::apps
+
+namespace leaseos::harness {
+
+/** Outcome of one mitigation run. */
+struct MitigationRunResult {
+    double appPowerMw = 0.0;
+    double systemPowerMw = 0.0;
+    std::map<lease::BehaviorType, std::uint64_t> behaviorCounts;
+    std::uint64_t deferrals = 0;
+};
+
+/** Options for a Table 5 cell run. */
+struct MitigationRunOptions {
+    sim::Time duration = sim::Time::fromMinutes(30.0);
+    power::DeviceProfile profile = power::profiles::pixelXl();
+    /**
+     * Periodic user glances (screen + motion blips). On = the realistic
+     * "phone on the desk but alive" condition that interrupts Doze.
+     */
+    bool userGlances = true;
+    sim::Time glanceInterval = sim::Time::fromMinutes(10.0);
+    sim::Time glanceLength = sim::Time::fromSeconds(20.0);
+    std::uint64_t seed = 0x1ea5e05;
+};
+
+/**
+ * Install the glance script on a device (screen on briefly + motion blip
+ * every glanceInterval).
+ */
+void installGlanceScript(Device &device, const MitigationRunOptions &opt);
+
+/** Run one buggy-app × mitigation-mode cell. */
+MitigationRunResult runMitigationCell(const apps::BuggyAppSpec &spec,
+                                      MitigationMode mode,
+                                      const MitigationRunOptions &opt = {});
+
+/** Reduction percentage of @p mitigated relative to @p baseline. */
+double reductionPercent(double baselineMw, double mitigatedMw);
+
+} // namespace leaseos::harness
+
+#endif // LEASEOS_HARNESS_EXPERIMENT_H

@@ -1,0 +1,47 @@
+#include "harness/figure.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace leaseos::harness {
+
+std::string
+figureHeader(const std::string &id, const std::string &caption)
+{
+    std::ostringstream os;
+    os << "\n==== " << id << " ====\n" << caption << "\n\n";
+    return os.str();
+}
+
+std::string
+barChart(const std::vector<std::pair<std::string, double>> &bars,
+         const std::string &unit, double scaleMax)
+{
+    double peak = scaleMax;
+    std::size_t label_width = 0;
+    for (const auto &[label, value] : bars) {
+        peak = std::max(peak, value);
+        label_width = std::max(label_width, label.size());
+    }
+    if (peak <= 0.0) peak = 1.0;
+
+    std::ostringstream os;
+    for (const auto &[label, value] : bars) {
+        auto blocks =
+            static_cast<std::size_t>(46.0 * std::max(0.0, value) / peak);
+        os << std::left << std::setw(static_cast<int>(label_width) + 2)
+           << label << std::string(blocks, '#') << " " << std::fixed
+           << std::setprecision(2) << value << " " << unit << "\n";
+    }
+    return os.str();
+}
+
+std::string
+seriesFigure(const std::vector<const sim::TimeSeries *> &series,
+             const std::string &timeUnit)
+{
+    return sim::renderSeriesTable(series, timeUnit);
+}
+
+} // namespace leaseos::harness

@@ -1,0 +1,31 @@
+#ifndef LEASEOS_HARNESS_FIGURE_H
+#define LEASEOS_HARNESS_FIGURE_H
+
+/**
+ * @file
+ * Figure-style text output helpers for the bench binaries: headers,
+ * shared-axis series tables, and horizontal bar groups (for the paper's
+ * bar-chart figures).
+ */
+
+#include <string>
+#include <vector>
+
+#include "sim/time_series.h"
+
+namespace leaseos::harness {
+
+/** Print a banner identifying which paper artefact follows. */
+std::string figureHeader(const std::string &id, const std::string &caption);
+
+/** Render a bar chart: one labelled bar per (label, value) pair. */
+std::string barChart(const std::vector<std::pair<std::string, double>> &bars,
+                     const std::string &unit, double scaleMax = 0.0);
+
+/** Render series sharing a time axis (delegates to renderSeriesTable). */
+std::string seriesFigure(const std::vector<const sim::TimeSeries *> &series,
+                         const std::string &timeUnit = "min");
+
+} // namespace leaseos::harness
+
+#endif // LEASEOS_HARNESS_FIGURE_H

@@ -1,0 +1,5 @@
+#include "harness/metrics.h"
+
+// MetricsSampler is header-only; this TU anchors the module.
+namespace leaseos::harness {
+} // namespace leaseos::harness

@@ -1,0 +1,75 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace leaseos::harness {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    separators_.push_back(rows_.size());
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::pct(double v, int precision)
+{
+    return fmt(v, precision) + "%";
+}
+
+std::string
+TextTable::toString() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_)
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    auto render_row = [&](const std::vector<std::string> &cells) {
+        std::ostringstream os;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << cells[i];
+        }
+        return os.str();
+    };
+
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+
+    std::ostringstream os;
+    os << render_row(headers_) << "\n" << std::string(total, '-') << "\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (std::find(separators_.begin(), separators_.end(), r) !=
+            separators_.end()) {
+            os << std::string(total, '-') << "\n";
+        }
+        os << render_row(rows_[r]) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace leaseos::harness

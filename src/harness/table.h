@@ -1,0 +1,45 @@
+#ifndef LEASEOS_HARNESS_TABLE_H
+#define LEASEOS_HARNESS_TABLE_H
+
+/**
+ * @file
+ * Aligned text-table rendering for the bench binaries.
+ */
+
+#include <string>
+#include <vector>
+
+namespace leaseos::harness {
+
+/**
+ * Simple column-aligned text table.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    std::string toString() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Format a double with fixed precision. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Format a percentage (value already in 0-100). */
+    static std::string pct(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> separators_;
+};
+
+} // namespace leaseos::harness
+
+#endif // LEASEOS_HARNESS_TABLE_H

@@ -1,0 +1,51 @@
+#ifndef LEASEOS_LEASE_BEHAVIOR_H
+#define LEASEOS_LEASE_BEHAVIOR_H
+
+/**
+ * @file
+ * The four energy-misbehaviour classes of §2.4.
+ */
+
+namespace leaseos::lease {
+
+/**
+ * Resource-usage behaviour over one lease term.
+ *
+ * FrequentAsk, LongHolding and LowUtility are clear defects and trigger
+ * deferral; ExcessiveUse is the §2.5 grey area and is treated as normal by
+ * the mitigation policy (a design decision of §4: "Addressing Excessive-Use
+ * is a non-goal").
+ */
+enum class BehaviorType {
+    Normal,
+    FrequentAsk, ///< FAB: keeps asking, rarely gets it (GPS in a basement)
+    LongHolding, ///< LHB: holds long, barely uses it (leaked wakelock)
+    LowUtility,  ///< LUB: uses it a lot, produces no value (retry storm)
+    ExcessiveUse ///< EUB: heavy but useful (navigation, gaming)
+};
+
+inline const char *
+behaviorName(BehaviorType b)
+{
+    switch (b) {
+      case BehaviorType::Normal: return "Normal";
+      case BehaviorType::FrequentAsk: return "FAB";
+      case BehaviorType::LongHolding: return "LHB";
+      case BehaviorType::LowUtility: return "LUB";
+      case BehaviorType::ExcessiveUse: return "EUB";
+    }
+    return "?";
+}
+
+/** True for the three classes LeaseOS defers (§4). */
+inline bool
+isMisbehavior(BehaviorType b)
+{
+    return b == BehaviorType::FrequentAsk ||
+           b == BehaviorType::LongHolding ||
+           b == BehaviorType::LowUtility;
+}
+
+} // namespace leaseos::lease
+
+#endif // LEASEOS_LEASE_BEHAVIOR_H

@@ -1,0 +1,42 @@
+#include "lease/behavior_classifier.h"
+
+namespace leaseos::lease {
+
+BehaviorType
+BehaviorClassifier::classify(ResourceType rtype, const LeaseStat &stat) const
+{
+    const ClassifierThresholds &th = thresholds_;
+    double term = stat.termSeconds();
+    if (term <= 0.0) return BehaviorType::Normal;
+
+    // FAB only exists for resources whose acquisition can fail for long
+    // stretches — GPS (Table 1: wakelock/sensor requests succeed almost
+    // immediately).
+    if (rtype == ResourceType::Gps) {
+        double request_ratio = stat.requestSeconds / term;
+        if (request_ratio >= th.fabMinRequestRatio &&
+            stat.requestSuccessRatio() <= th.fabMaxSuccessRatio) {
+            return BehaviorType::FrequentAsk;
+        }
+    }
+
+    // The remaining classes require the resource to actually be held for
+    // a substantial part of the term.
+    if (stat.holdingRatio() < th.minHoldingRatio)
+        return BehaviorType::Normal;
+
+    if (stat.utilizationRatio() < th.lhbMaxUtilization)
+        return BehaviorType::LongHolding;
+
+    if (stat.utilityScore < th.lubMaxUtilityScore)
+        return BehaviorType::LowUtility;
+
+    // Held and well-utilised with real utility: heavy use is Excessive-Use
+    // when the usage itself dominates the term; otherwise plain normal.
+    if (stat.usageSeconds / term >= th.eubMinUsageRatio)
+        return BehaviorType::ExcessiveUse;
+
+    return BehaviorType::Normal;
+}
+
+} // namespace leaseos::lease

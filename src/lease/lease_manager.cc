@@ -1,0 +1,344 @@
+#include "lease/lease_manager.h"
+
+#include "lease/utility/generic_utility.h"
+#include "sim/logging.h"
+
+namespace {
+
+/** Decision-trace line (enable via Logger::setLevel(LogLevel::Info)). */
+#define LEASE_LOG(sim_ref)                                               \
+    sim::LogLine(sim::LogLevel::Info, (sim_ref).now(), "lease")
+
+} // namespace
+
+namespace leaseos::lease {
+
+LeaseManagerService::LeaseManagerService(sim::Simulator &sim,
+                                         power::CpuModel &cpu,
+                                         LeasePolicy policy)
+    : sim_(sim), cpu_(cpu), policy_(policy), classifier_(policy.thresholds)
+{
+}
+
+bool
+LeaseManagerService::registerProxy(LeaseProxy *proxy)
+{
+    if (!proxy || proxies_.count(proxy->rtype())) return false;
+    proxies_[proxy->rtype()] = proxy;
+    proxy->attach(this);
+    return true;
+}
+
+bool
+LeaseManagerService::unregisterProxy(LeaseProxy *proxy)
+{
+    if (!proxy) return false;
+    auto it = proxies_.find(proxy->rtype());
+    if (it == proxies_.end() || it->second != proxy) return false;
+    proxy->detach();
+    proxies_.erase(it);
+    return true;
+}
+
+LeaseProxy *
+LeaseManagerService::proxyFor(ResourceType rtype) const
+{
+    auto it = proxies_.find(rtype);
+    return it == proxies_.end() ? nullptr : it->second;
+}
+
+IUtilityCounter *
+LeaseManagerService::utilityFor(Uid uid, ResourceType rtype) const
+{
+    auto it = utilities_.find({uid, rtype});
+    return it == utilities_.end() ? nullptr : it->second;
+}
+
+void
+LeaseManagerService::chargeAccounting(sim::Time latency)
+{
+    // Lease bookkeeping runs on the system server; it costs a short burst
+    // of one-core CPU attributed to the system uid. This is the entirety
+    // of LeaseOS's power overhead (Fig. 13).
+    cpu_.runWorkFor(kSystemUid, 1.0, latency);
+}
+
+LeaseId
+LeaseManagerService::create(ResourceType rtype, os::TokenId token, Uid uid)
+{
+    chargeAccounting(kCreateLatency);
+    Lease &lease = table_.create(rtype, token, uid);
+    lease.createdAt = sim_.now();
+    lease.state = LeaseState::Active;
+    if (policy_.rememberMisbehavior) {
+        auto it = reputations_.find({uid, rtype});
+        if (it != reputations_.end()) {
+            if (sim_.now() - it->second.diedAt <=
+                policy_.reputationWindow) {
+                // The app just churned the kernel object while in the
+                // dog house: inherit the escalation counter (§8).
+                lease.consecutiveMisbehaved =
+                    it->second.consecutiveMisbehaved;
+            } else {
+                reputations_.erase(it);
+            }
+        }
+    }
+    startTerm(lease, policy_.termFor(0));
+    return lease.id;
+}
+
+bool
+LeaseManagerService::check(LeaseId id)
+{
+    Lease *lease = table_.find(id);
+    bool ok = lease && lease->state == LeaseState::Active;
+    chargeAccounting(ok ? kCheckAcceptLatency : kCheckRejectLatency);
+    return ok;
+}
+
+bool
+LeaseManagerService::renew(LeaseId id)
+{
+    Lease *lease = table_.find(id);
+    if (!lease || lease->isDead()) return false;
+    if (lease->state == LeaseState::Deferred) {
+        // Renewal during deferral must wait out τ (that is the penalty).
+        return false;
+    }
+    if (lease->state == LeaseState::Inactive) {
+        lease->state = LeaseState::Active;
+        ++lease->termIndex;
+        ++totalRenewals_;
+        startTerm(*lease, policy_.termFor(lease->consecutiveNormal));
+    }
+    return true;
+}
+
+bool
+LeaseManagerService::remove(LeaseId id)
+{
+    Lease *lease = table_.find(id);
+    if (!lease) return false;
+    if (lease->pendingEvent != sim::kInvalidEventId) {
+        sim_.cancel(lease->pendingEvent);
+        lease->pendingEvent = sim::kInvalidEventId;
+    }
+    lease->state = LeaseState::Dead;
+    recordDeath(*lease);
+    table_.reap(id);
+    return true;
+}
+
+void
+LeaseManagerService::noteAcquire(LeaseId id)
+{
+    Lease *lease = table_.find(id);
+    if (!lease || lease->isDead()) return;
+    switch (lease->state) {
+      case LeaseState::Inactive:
+        // Use of a resource whose lease expired requires a manager
+        // decision (§3.2).
+        chargeAccounting(kCheckAcceptLatency);
+        renew(id);
+        break;
+      case LeaseState::Deferred:
+        // §4.6: the subsystem pretends the acquire succeeded; nothing to
+        // do until the deferral ends.
+        break;
+      case LeaseState::Active:
+      case LeaseState::Dead:
+        break;
+    }
+}
+
+void
+LeaseManagerService::noteRelease(LeaseId id)
+{
+    // Releases are observed through service state at term end; the note
+    // itself needs no immediate action (events feed term stats, §4.3).
+    (void)id;
+}
+
+void
+LeaseManagerService::setUtility(Uid uid, ResourceType rtype,
+                                IUtilityCounter *counter)
+{
+    if (counter) {
+        utilities_[{uid, rtype}] = counter;
+    } else {
+        utilities_.erase({uid, rtype});
+    }
+}
+
+LeaseId
+LeaseManagerService::leaseIdForToken(os::TokenId token)
+{
+    Lease *lease = table_.findByToken(token);
+    return lease ? lease->id : kInvalidLeaseId;
+}
+
+void
+LeaseManagerService::startTerm(Lease &lease, sim::Time length)
+{
+    lease.termStart = sim_.now();
+    lease.termLength = length;
+    LeaseProxy *proxy = proxyFor(lease.rtype);
+    if (proxy) proxy->beginTerm(lease);
+    LeaseId id = lease.id;
+    lease.pendingEvent =
+        sim_.schedule(length, [this, id] { onTermEnd(id); });
+}
+
+void
+LeaseManagerService::onTermEnd(LeaseId id)
+{
+    Lease *lease = table_.find(id);
+    if (!lease || lease->state != LeaseState::Active) return;
+    lease->pendingEvent = sim::kInvalidEventId;
+    ++termChecks_;
+    chargeAccounting(kUpdateLatency);
+
+    LeaseProxy *proxy = proxyFor(lease->rtype);
+    if (!proxy) {
+        // No proxy (unregistered mid-flight): degrade to plain renewal.
+        startTerm(*lease, lease->termLength);
+        return;
+    }
+
+    if (!proxy->resourceHeld(*lease)) {
+        lease->state = LeaseState::Inactive;
+        return;
+    }
+
+    // Collect the term's stats and apply the custom utility hint.
+    LeaseStat stat = proxy->collectStat(*lease);
+    stat.utilityScore = utility::combine(
+        stat.utilityScore, utilityFor(lease->uid, lease->rtype));
+
+    TermRecord record;
+    record.stat = stat;
+    record.behavior = classifier_.classify(lease->rtype, stat);
+    LEASE_LOG(sim_) << "lease " << lease->id << " ("
+                    << resourceTypeName(lease->rtype) << ", uid "
+                    << lease->uid << ") term " << lease->termIndex
+                    << ": " << behaviorName(record.behavior)
+                    << " hold=" << record.stat.holdingSeconds
+                    << "s use=" << record.stat.usageSeconds
+                    << "s utility=" << record.stat.utilityScore;
+    ++behaviorCounts_[record.behavior];
+    lease->recordTerm(record, policy_.historyDepth);
+    if (termObserver_) termObserver_(*lease, record);
+
+    // Misbehaviour on GPS needs confirmation across consecutive terms of
+    // the same class: cold-start fix acquisition mimics FAB and the first
+    // fix has no distance yet, mimicking LUB (§4.3: decide on "the current
+    // term and last few terms").
+    bool punish = isMisbehavior(record.behavior);
+    if (punish) {
+        int required = policy_.confirmTermsFor(lease->rtype);
+        // A lease already carrying misbehaviour (ongoing, or inherited
+        // via the §8 reputation extension) needs no re-confirmation.
+        if (lease->consecutiveMisbehaved > 0) required = 1;
+        if (required > 1) {
+            int trailing = 0;
+            for (auto it = lease->history.rbegin();
+                 it != lease->history.rend(); ++it) {
+                if (it->behavior != record.behavior) break;
+                ++trailing;
+            }
+            if (trailing < required) {
+                // Suspected but unconfirmed: renew on a short term,
+                // without normal-streak credit.
+                lease->consecutiveNormal = 0;
+                ++lease->termIndex;
+                ++totalRenewals_;
+                startTerm(*lease, policy_.initialTerm);
+                return;
+            }
+        }
+    }
+
+    if (punish) {
+        ++lease->consecutiveMisbehaved;
+        lease->consecutiveNormal = 0;
+        if (policy_.rememberMisbehavior) {
+            // §8 extension: record the offence at deferral time so churned
+            // replacements inherit it even if this object is merely
+            // abandoned (never destroyed).
+            reputations_[{lease->uid, lease->rtype}] =
+                Reputation{lease->consecutiveMisbehaved, sim_.now()};
+        }
+        sim::Time tau = policy_.deferralFor(lease->consecutiveMisbehaved);
+        LEASE_LOG(sim_) << "lease " << lease->id << " DEFERRED for "
+                        << tau.toString() << " (offence #"
+                        << lease->consecutiveMisbehaved << ")";
+        lease->state = LeaseState::Deferred;
+        ++lease->deferrals;
+        ++totalDeferrals_;
+        lease->totalDeferralSeconds += tau.seconds();
+        proxy->onExpire(*lease);
+        lease->pendingEvent =
+            sim_.schedule(tau, [this, id] { onDeferralEnd(id); });
+        return;
+    }
+
+    // Normal (or Excessive-Use, which LeaseOS does not penalise): renew
+    // immediately; well-behaved leases earn longer terms (§5.2).
+    ++lease->consecutiveNormal;
+    lease->consecutiveMisbehaved = 0;
+    ++lease->termIndex;
+    ++totalRenewals_;
+    startTerm(*lease, policy_.termFor(lease->consecutiveNormal));
+}
+
+void
+LeaseManagerService::onDeferralEnd(LeaseId id)
+{
+    Lease *lease = table_.find(id);
+    if (!lease || lease->state != LeaseState::Deferred) return;
+    lease->pendingEvent = sim::kInvalidEventId;
+
+    LeaseProxy *proxy = proxyFor(lease->rtype);
+    if (proxy) proxy->onRenew(*lease); // restore the kernel object
+
+    if (proxy && proxy->resourceHeld(*lease)) {
+        LEASE_LOG(sim_) << "lease " << lease->id
+                        << " restored to ACTIVE after deferral";
+        lease->state = LeaseState::Active;
+        ++lease->termIndex;
+        ++totalRenewals_;
+        // Back to the short initial term: the lease just misbehaved.
+        startTerm(*lease, policy_.initialTerm);
+    } else {
+        // The app released the resource during τ.
+        lease->state = LeaseState::Inactive;
+    }
+}
+
+void
+LeaseManagerService::recordDeath(Lease &lease)
+{
+    lifespans_.record((sim_.now() - lease.createdAt).seconds());
+    termCounts_.record(static_cast<double>(lease.termIndex + 1));
+    if (policy_.rememberMisbehavior && lease.consecutiveMisbehaved > 0) {
+        reputations_[{lease.uid, lease.rtype}] =
+            Reputation{lease.consecutiveMisbehaved, sim_.now()};
+    }
+}
+
+std::uint64_t
+LeaseManagerService::behaviorCount(BehaviorType b) const
+{
+    auto it = behaviorCounts_.find(b);
+    return it == behaviorCounts_.end() ? 0 : it->second;
+}
+
+BehaviorType
+LeaseManagerService::lastBehavior(LeaseId id) const
+{
+    const Lease *lease = table_.find(id);
+    return lease ? lease->lastBehavior() : BehaviorType::Normal;
+}
+
+} // namespace leaseos::lease

@@ -1,0 +1,5 @@
+#include "lease/lease_policy.h"
+
+// LeasePolicy is header-only; this TU anchors the module in the build.
+namespace leaseos::lease {
+} // namespace leaseos::lease

@@ -1,0 +1,36 @@
+#include "lease/leaseos_runtime.h"
+
+namespace leaseos::lease {
+
+LeaseOsRuntime::LeaseOsRuntime(sim::Simulator &sim, power::CpuModel &cpu,
+                               power::RadioModel &radio,
+                               os::SystemServer &server, LeasePolicy policy)
+{
+    manager_ = std::make_unique<LeaseManagerService>(sim, cpu, policy);
+
+    wakelockProxy_ = std::make_unique<WakelockLeaseProxy>(
+        server.powerManager(), cpu, server.exceptionHandler(),
+        server.activityManager());
+    screenProxy_ = std::make_unique<ScreenLeaseProxy>(
+        server.powerManager(), server.activityManager());
+    gpsProxy_ = std::make_unique<GpsLeaseProxy>(server.locationManager(),
+                                                server.activityManager());
+    sensorProxy_ = std::make_unique<SensorLeaseProxy>(
+        server.sensorManager(), server.activityManager());
+    wifiProxy_ = std::make_unique<WifiLeaseProxy>(
+        server.wifiManager(), radio, server.activityManager());
+    audioProxy_ = std::make_unique<AudioLeaseProxy>(
+        server.audioSessions(), server.activityManager());
+    bluetoothProxy_ = std::make_unique<BluetoothLeaseProxy>(
+        server.bluetoothService(), server.activityManager());
+
+    manager_->registerProxy(wakelockProxy_.get());
+    manager_->registerProxy(screenProxy_.get());
+    manager_->registerProxy(gpsProxy_.get());
+    manager_->registerProxy(sensorProxy_.get());
+    manager_->registerProxy(wifiProxy_.get());
+    manager_->registerProxy(audioProxy_.get());
+    manager_->registerProxy(bluetoothProxy_.get());
+}
+
+} // namespace leaseos::lease

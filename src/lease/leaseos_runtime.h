@@ -1,0 +1,68 @@
+#ifndef LEASEOS_LEASE_LEASEOS_RUNTIME_H
+#define LEASEOS_LEASE_LEASEOS_RUNTIME_H
+
+/**
+ * @file
+ * The LeaseOS runtime: manager + all proxies, wired over a SystemServer.
+ *
+ * This is the top-level public API for enabling lease-based resource
+ * management on a simulated device:
+ *
+ *   lease::LeaseOsRuntime leaseos(sim, cpu, radio, server, policy);
+ *
+ * Constructing it transparently interposes on all resource services — no
+ * app changes required (§4.2). Destroying it (or building the device
+ * without it) is the paper's "flag to completely turn off the lease
+ * service" used to get a vanilla-Android baseline.
+ */
+
+#include <memory>
+
+#include "lease/lease_manager.h"
+#include "lease/lease_policy.h"
+#include "lease/proxies/audio_proxy.h"
+#include "lease/proxies/bluetooth_proxy.h"
+#include "lease/proxies/gps_proxy.h"
+#include "lease/proxies/screen_proxy.h"
+#include "lease/proxies/sensor_proxy.h"
+#include "lease/proxies/wakelock_proxy.h"
+#include "lease/proxies/wifi_proxy.h"
+#include "os/system_server.h"
+
+namespace leaseos::lease {
+
+/**
+ * Assembles and owns the full LeaseOS stack for one device.
+ */
+class LeaseOsRuntime
+{
+  public:
+    LeaseOsRuntime(sim::Simulator &sim, power::CpuModel &cpu,
+                   power::RadioModel &radio, os::SystemServer &server,
+                   LeasePolicy policy = {});
+
+    LeaseManagerService &manager() { return *manager_; }
+    const LeaseManagerService &manager() const { return *manager_; }
+
+    WakelockLeaseProxy &wakelockProxy() { return *wakelockProxy_; }
+    ScreenLeaseProxy &screenProxy() { return *screenProxy_; }
+    GpsLeaseProxy &gpsProxy() { return *gpsProxy_; }
+    SensorLeaseProxy &sensorProxy() { return *sensorProxy_; }
+    WifiLeaseProxy &wifiProxy() { return *wifiProxy_; }
+    AudioLeaseProxy &audioProxy() { return *audioProxy_; }
+    BluetoothLeaseProxy &bluetoothProxy() { return *bluetoothProxy_; }
+
+  private:
+    std::unique_ptr<LeaseManagerService> manager_;
+    std::unique_ptr<WakelockLeaseProxy> wakelockProxy_;
+    std::unique_ptr<ScreenLeaseProxy> screenProxy_;
+    std::unique_ptr<GpsLeaseProxy> gpsProxy_;
+    std::unique_ptr<SensorLeaseProxy> sensorProxy_;
+    std::unique_ptr<WifiLeaseProxy> wifiProxy_;
+    std::unique_ptr<AudioLeaseProxy> audioProxy_;
+    std::unique_ptr<BluetoothLeaseProxy> bluetoothProxy_;
+};
+
+} // namespace leaseos::lease
+
+#endif // LEASEOS_LEASE_LEASEOS_RUNTIME_H

@@ -1,0 +1,43 @@
+#ifndef LEASEOS_LEASE_RESOURCE_TYPE_H
+#define LEASEOS_LEASE_RESOURCE_TYPE_H
+
+/**
+ * @file
+ * The resource classes LeaseOS manages (Table 1).
+ */
+
+namespace leaseos::lease {
+
+/**
+ * Leased resource kinds. CPU is reached through partial wakelocks and the
+ * screen through full wakelocks; GPS and sensors are subscription-style
+ * (the OS invokes an app listener); Wi-Fi through high-performance locks.
+ */
+enum class ResourceType {
+    Wakelock, ///< partial wakelock → CPU
+    Screen,   ///< full wakelock → screen + CPU
+    Gps,
+    Sensor,
+    Wifi,
+    Audio,
+    Bluetooth
+};
+
+inline const char *
+resourceTypeName(ResourceType t)
+{
+    switch (t) {
+      case ResourceType::Wakelock: return "wakelock";
+      case ResourceType::Screen: return "screen";
+      case ResourceType::Gps: return "gps";
+      case ResourceType::Sensor: return "sensor";
+      case ResourceType::Wifi: return "wifi";
+      case ResourceType::Audio: return "audio";
+      case ResourceType::Bluetooth: return "bluetooth";
+    }
+    return "unknown";
+}
+
+} // namespace leaseos::lease
+
+#endif // LEASEOS_LEASE_RESOURCE_TYPE_H

@@ -1,0 +1,207 @@
+#include "mitigation/defdroid.h"
+
+namespace leaseos::mitigation {
+
+DefDroidController::DefDroidController(sim::Simulator &sim,
+                                       os::SystemServer &server,
+                                       DefDroidConfig config)
+    : sim_(sim), server_(server), config_(config)
+{
+}
+
+DefDroidController::~DefDroidController() = default;
+
+void
+DefDroidController::start()
+{
+    if (started_) return;
+    started_ = true;
+    server_.powerManager().addListener(&wakelockWatcher_);
+    server_.locationManager().addListener(&gpsWatcher_);
+    server_.sensorManager().addListener(&sensorWatcher_);
+    server_.wifiManager().addListener(&wifiWatcher_);
+    sim_.schedulePeriodic(config_.pollInterval, [this] {
+        poll();
+        return true;
+    });
+}
+
+void
+DefDroidController::noteAcquired(os::TokenId token, Uid uid, Kind kind)
+{
+    // Wakelocks arrive via one watcher; split by level here.
+    if (kind == Kind::Wakelock &&
+        server_.powerManager().typeOf(token) == os::WakeLockType::Full) {
+        kind = Kind::Screen;
+    }
+    auto it = tracked_.find(token);
+    if (it != tracked_.end()) {
+        // Re-acquire: keep the original heldSince (continuous pressure).
+        return;
+    }
+    tracked_[token] = Tracked{uid, kind, sim_.now(), false};
+
+    if (kind == Kind::Gps) {
+        GpsPressure &pressure = gpsPressure_[uid];
+        if (!pressure.anyActive &&
+            (pressure.lastRelease == sim::Time::zero() ||
+             sim_.now() - pressure.lastRelease > config_.gpsChurnGap)) {
+            pressure.holdStart = sim_.now();
+        }
+        pressure.anyActive = true;
+        if (sim_.now() < pressure.backoffUntil) {
+            // Still backing off this uid's GPS: new requests are
+            // immediately suppressed.
+            tracked_[token].throttled = true;
+            ++throttles_;
+            suspendAtService(token, Kind::Gps);
+            sim::Time remaining = pressure.backoffUntil - sim_.now();
+            sim_.schedule(remaining, [this, token] {
+                unthrottle(token, Kind::Gps);
+            });
+        }
+    }
+}
+
+void
+DefDroidController::noteReleased(os::TokenId token)
+{
+    auto it = tracked_.find(token);
+    if (it != tracked_.end() && it->second.kind == Kind::Gps) {
+        Uid uid = it->second.uid;
+        bool any_other = false;
+        for (const auto &[other, rec] : tracked_) {
+            if (other != token && rec.kind == Kind::Gps &&
+                rec.uid == uid) {
+                any_other = true;
+                break;
+            }
+        }
+        if (!any_other) {
+            GpsPressure &pressure = gpsPressure_[uid];
+            pressure.anyActive = false;
+            pressure.lastRelease = sim_.now();
+        }
+    }
+    tracked_.erase(token);
+}
+
+sim::Time
+DefDroidController::holdLimit(Kind kind) const
+{
+    switch (kind) {
+      case Kind::Wakelock: return config_.wakelockHoldLimit;
+      case Kind::Screen: return config_.screenHoldLimit;
+      case Kind::Gps: return config_.gpsHoldLimit;
+      case Kind::Sensor: return config_.sensorHoldLimit;
+      case Kind::Wifi: return config_.wifiHoldLimit;
+    }
+    return config_.wakelockHoldLimit;
+}
+
+sim::Time
+DefDroidController::backoff(Kind kind) const
+{
+    switch (kind) {
+      case Kind::Wakelock: return config_.wakelockBackoff;
+      case Kind::Screen: return config_.screenBackoff;
+      case Kind::Gps: return config_.gpsBackoff;
+      case Kind::Sensor: return config_.sensorBackoff;
+      case Kind::Wifi: return config_.wifiBackoff;
+    }
+    return config_.wakelockBackoff;
+}
+
+void
+DefDroidController::suspendAtService(os::TokenId token, Kind kind)
+{
+    switch (kind) {
+      case Kind::Wakelock:
+      case Kind::Screen:
+        server_.powerManager().suspend(token);
+        break;
+      case Kind::Gps:
+        server_.locationManager().suspend(token);
+        break;
+      case Kind::Sensor:
+        server_.sensorManager().suspend(token);
+        break;
+      case Kind::Wifi:
+        server_.wifiManager().suspend(token);
+        break;
+    }
+}
+
+void
+DefDroidController::restoreAtService(os::TokenId token, Kind kind)
+{
+    switch (kind) {
+      case Kind::Wakelock:
+      case Kind::Screen:
+        server_.powerManager().restore(token);
+        break;
+      case Kind::Gps:
+        server_.locationManager().restore(token);
+        break;
+      case Kind::Sensor:
+        server_.sensorManager().restore(token);
+        break;
+      case Kind::Wifi:
+        server_.wifiManager().restore(token);
+        break;
+    }
+}
+
+void
+DefDroidController::poll()
+{
+    for (auto &[token, tracked] : tracked_) {
+        if (tracked.throttled) continue;
+        if (config_.spareForeground &&
+            server_.activityManager().isForeground(tracked.uid)) {
+            continue;
+        }
+        // GPS uses the per-uid continuous-pressure clock so request
+        // churn (new kernel object per attempt) cannot dodge the limit.
+        sim::Time held_since = tracked.heldSince;
+        if (tracked.kind == Kind::Gps) {
+            auto it = gpsPressure_.find(tracked.uid);
+            if (it != gpsPressure_.end())
+                held_since = it->second.holdStart;
+        }
+        if (sim_.now() - held_since >= holdLimit(tracked.kind)) {
+            if (tracked.kind == Kind::Gps) {
+                gpsPressure_[tracked.uid].backoffUntil =
+                    sim_.now() + backoff(Kind::Gps);
+            }
+            throttle(token, tracked);
+        }
+    }
+}
+
+void
+DefDroidController::throttle(os::TokenId token, Tracked &tracked)
+{
+    tracked.throttled = true;
+    ++throttles_;
+    suspendAtService(token, tracked.kind);
+    Kind kind = tracked.kind;
+    sim_.schedule(backoff(kind),
+                  [this, token, kind] { unthrottle(token, kind); });
+}
+
+void
+DefDroidController::unthrottle(os::TokenId token, Kind kind)
+{
+    restoreAtService(token, kind);
+    auto it = tracked_.find(token);
+    if (it != tracked_.end()) {
+        // Still held: restart the holding clock for the next round.
+        it->second.throttled = false;
+        it->second.heldSince = sim_.now();
+        if (kind == Kind::Gps)
+            gpsPressure_[it->second.uid].holdStart = sim_.now();
+    }
+}
+
+} // namespace leaseos::mitigation

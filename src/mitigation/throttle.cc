@@ -1,0 +1,60 @@
+#include "mitigation/throttle.h"
+
+namespace leaseos::mitigation {
+
+OneShotThrottler::OneShotThrottler(sim::Simulator &sim,
+                                   os::SystemServer &server,
+                                   sim::Time holdLimit)
+    : sim_(sim), server_(server), holdLimit_(holdLimit)
+{
+}
+
+void
+OneShotThrottler::start()
+{
+    if (started_) return;
+    started_ = true;
+    server_.powerManager().addListener(&powerWatcher_);
+    server_.locationManager().addListener(&gpsWatcher_);
+    server_.sensorManager().addListener(&sensorWatcher_);
+    server_.wifiManager().addListener(&wifiWatcher_);
+}
+
+void
+OneShotThrottler::noteAcquired(os::TokenId token, Uid uid, Kind kind)
+{
+    (void)uid;
+    if (tracked_.count(token)) return;
+    tracked_[token] = kind;
+    sim_.schedule(holdLimit_, [this, token, kind] {
+        if (tracked_.count(token)) revoke(token, kind);
+    });
+}
+
+void
+OneShotThrottler::noteReleased(os::TokenId token)
+{
+    tracked_.erase(token);
+}
+
+void
+OneShotThrottler::revoke(os::TokenId token, Kind kind)
+{
+    ++revocations_;
+    switch (kind) {
+      case Kind::Power:
+        server_.powerManager().suspend(token);
+        break;
+      case Kind::Gps:
+        server_.locationManager().suspend(token);
+        break;
+      case Kind::Sensor:
+        server_.sensorManager().suspend(token);
+        break;
+      case Kind::Wifi:
+        server_.wifiManager().suspend(token);
+        break;
+    }
+}
+
+} // namespace leaseos::mitigation

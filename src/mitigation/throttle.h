@@ -1,0 +1,87 @@
+#ifndef LEASEOS_MITIGATION_THROTTLE_H
+#define LEASEOS_MITIGATION_THROTTLE_H
+
+/**
+ * @file
+ * Pure one-shot, time-based throttling — "essentially leases with only a
+ * single term" (§7.4). After a fixed holding time every resource of a
+ * background app is revoked permanently. This is the strawman the
+ * usability experiment runs RunKeeper/Spotify/Haven against: it cannot
+ * tell fitness tracking from a leaked wakelock, so it breaks both.
+ */
+
+#include <cstdint>
+#include <map>
+
+#include "os/resource_listener.h"
+#include "os/system_server.h"
+#include "sim/simulator.h"
+
+namespace leaseos::mitigation {
+
+/**
+ * Single-term time-based throttler.
+ */
+class OneShotThrottler
+{
+  public:
+    OneShotThrottler(sim::Simulator &sim, os::SystemServer &server,
+                     sim::Time holdLimit = sim::Time::fromMinutes(5.0));
+
+    void start();
+
+    std::uint64_t revocations() const { return revocations_; }
+
+  private:
+    enum class Kind { Power, Gps, Sensor, Wifi };
+
+    class Watcher : public os::ResourceListener
+    {
+      public:
+        Watcher(OneShotThrottler &owner, Kind kind)
+            : owner_(owner), kind_(kind) {}
+
+        void
+        onAcquired(os::TokenId token, Uid uid) override
+        {
+            owner_.noteAcquired(token, uid, kind_);
+        }
+        void
+        onReleased(os::TokenId token, Uid uid) override
+        {
+            (void)uid;
+            owner_.noteReleased(token);
+        }
+        void
+        onDestroyed(os::TokenId token, Uid uid) override
+        {
+            (void)uid;
+            owner_.noteReleased(token);
+        }
+
+      private:
+        OneShotThrottler &owner_;
+        Kind kind_;
+    };
+
+    void noteAcquired(os::TokenId token, Uid uid, Kind kind);
+    void noteReleased(os::TokenId token);
+    void revoke(os::TokenId token, Kind kind);
+
+    sim::Simulator &sim_;
+    os::SystemServer &server_;
+    sim::Time holdLimit_;
+    bool started_ = false;
+
+    Watcher powerWatcher_{*this, Kind::Power};
+    Watcher gpsWatcher_{*this, Kind::Gps};
+    Watcher sensorWatcher_{*this, Kind::Sensor};
+    Watcher wifiWatcher_{*this, Kind::Wifi};
+
+    std::map<os::TokenId, Kind> tracked_;
+    std::uint64_t revocations_ = 0;
+};
+
+} // namespace leaseos::mitigation
+
+#endif // LEASEOS_MITIGATION_THROTTLE_H

@@ -1,0 +1,221 @@
+#include "os/audio_session_service.h"
+
+#include <set>
+
+namespace leaseos::os {
+
+AudioSessionService::AudioSessionService(
+    sim::Simulator &sim, power::CpuModel &cpu, power::AudioModel &audio,
+    power::EnergyAccountant &accountant, TokenAllocator &tokens)
+    : Service(sim, cpu, "audio"), audio_(audio), accountant_(accountant),
+      pipelineChannel_(accountant.makeChannel("audio_pipeline")),
+      tokens_(tokens), lastAdvance_(sim.now())
+{
+}
+
+void
+AudioSessionService::advance()
+{
+    sim::Time now = sim_.now();
+    if (now <= lastAdvance_) {
+        lastAdvance_ = now;
+        return;
+    }
+    double dt = (now - lastAdvance_).seconds();
+    for (auto &[token, session] : sessions_) {
+        if (!session.enabled) continue;
+        openSeconds_[session.uid] += dt;
+        if (session.playing) playingSeconds_[session.uid] += dt;
+    }
+    lastAdvance_ = now;
+}
+
+bool
+AudioSessionService::allowedByFilter(Uid uid) const
+{
+    return !filter_ || filter_(uid);
+}
+
+void
+AudioSessionService::apply()
+{
+    std::set<Uid> open_owners;
+    std::map<Uid, bool> playing;
+    for (auto &[token, session] : sessions_) {
+        session.enabled = session.open && !session.suspended &&
+            allowedByFilter(session.uid);
+        if (session.enabled) {
+            open_owners.insert(session.uid);
+            if (session.playing) playing[session.uid] = true;
+        }
+    }
+    // Open sessions keep the pipeline powered and the app runnable (the
+    // iOS background-audio semantics behind the Facebook leak).
+    std::vector<Uid> owners(open_owners.begin(), open_owners.end());
+    accountant_.setPower(pipelineChannel_,
+                         open_owners.empty() ? 0.0 : kPipelineMw, owners);
+    cpu_.setAudioSessionOwners(owners);
+    // Route audible output per uid.
+    for (const auto &[uid, on] : lastPlaying_)
+        if (!playing.count(uid)) audio_.setPlaying(uid, false);
+    for (const auto &[uid, on] : playing) audio_.setPlaying(uid, true);
+    lastPlaying_ = playing;
+}
+
+TokenId
+AudioSessionService::openSession(Uid uid)
+{
+    chargeIpc(uid, kResourceIpcLatency);
+    advance();
+    TokenId token = tokens_.next();
+    Session session;
+    session.uid = uid;
+    session.open = true;
+    sessions_.emplace(token, session);
+    apply();
+    for (auto *l : listeners_) l->onCreated(token, uid);
+    for (auto *l : listeners_) l->onAcquired(token, uid);
+    return token;
+}
+
+void
+AudioSessionService::startPlayback(TokenId token)
+{
+    auto it = sessions_.find(token);
+    if (it == sessions_.end() || !it->second.open) return;
+    chargeIpc(it->second.uid, kBinderIpcLatency);
+    advance();
+    it->second.playing = true;
+    apply();
+}
+
+void
+AudioSessionService::stopPlayback(TokenId token)
+{
+    auto it = sessions_.find(token);
+    if (it == sessions_.end()) return;
+    chargeIpc(it->second.uid, kBinderIpcLatency);
+    advance();
+    it->second.playing = false;
+    apply();
+}
+
+void
+AudioSessionService::closeSession(TokenId token)
+{
+    auto it = sessions_.find(token);
+    if (it == sessions_.end() || !it->second.open) return;
+    Uid uid = it->second.uid;
+    chargeIpc(uid, kBinderIpcLatency);
+    advance();
+    it->second.open = false;
+    it->second.playing = false;
+    apply();
+    for (auto *l : listeners_) l->onReleased(token, uid);
+}
+
+void
+AudioSessionService::destroy(TokenId token)
+{
+    auto it = sessions_.find(token);
+    if (it == sessions_.end()) return;
+    advance();
+    Uid uid = it->second.uid;
+    sessions_.erase(it);
+    apply();
+    for (auto *l : listeners_) l->onDestroyed(token, uid);
+}
+
+bool
+AudioSessionService::isOpen(TokenId token) const
+{
+    auto it = sessions_.find(token);
+    return it != sessions_.end() && it->second.open;
+}
+
+bool
+AudioSessionService::isPlaying(TokenId token) const
+{
+    auto it = sessions_.find(token);
+    return it != sessions_.end() && it->second.playing;
+}
+
+void
+AudioSessionService::suspend(TokenId token)
+{
+    auto it = sessions_.find(token);
+    if (it == sessions_.end() || it->second.suspended) return;
+    advance();
+    it->second.suspended = true;
+    apply();
+}
+
+void
+AudioSessionService::restore(TokenId token)
+{
+    auto it = sessions_.find(token);
+    if (it == sessions_.end() || !it->second.suspended) return;
+    advance();
+    it->second.suspended = false;
+    apply();
+}
+
+bool
+AudioSessionService::isSuspended(TokenId token) const
+{
+    auto it = sessions_.find(token);
+    return it != sessions_.end() && it->second.suspended;
+}
+
+bool
+AudioSessionService::isEnabled(TokenId token) const
+{
+    auto it = sessions_.find(token);
+    return it != sessions_.end() && it->second.enabled;
+}
+
+void
+AudioSessionService::setGlobalFilter(std::function<bool(Uid)> filter)
+{
+    advance();
+    filter_ = std::move(filter);
+    apply();
+}
+
+void
+AudioSessionService::refilter()
+{
+    advance();
+    apply();
+}
+
+void
+AudioSessionService::addListener(ResourceListener *listener)
+{
+    listeners_.push_back(listener);
+}
+
+double
+AudioSessionService::openSeconds(Uid uid)
+{
+    advance();
+    auto it = openSeconds_.find(uid);
+    return it == openSeconds_.end() ? 0.0 : it->second;
+}
+
+double
+AudioSessionService::playingSeconds(Uid uid)
+{
+    advance();
+    auto it = playingSeconds_.find(uid);
+    return it == playingSeconds_.end() ? 0.0 : it->second;
+}
+
+Uid
+AudioSessionService::ownerOf(TokenId token) const
+{
+    auto it = sessions_.find(token);
+    return it == sessions_.end() ? kInvalidUid : it->second.uid;
+}
+
+} // namespace leaseos::os

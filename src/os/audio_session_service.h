@@ -1,0 +1,111 @@
+#ifndef LEASEOS_OS_AUDIO_SESSION_SERVICE_H
+#define LEASEOS_OS_AUDIO_SESSION_SERVICE_H
+
+/**
+ * @file
+ * Audio session management.
+ *
+ * The paper's §1 motivating example is the Facebook iOS release that
+ * leaked audio sessions: the app finished playing but a code path skipped
+ * the session close, "leaving the app doing nothing but staying awake in
+ * the background draining the battery". We model audio the same way iOS
+ * (and Android's media focus) does: an *open* session keeps the app
+ * process runnable (an implicit wakelock) and the audio pipeline powered,
+ * whether or not anything is audibly playing. Audio is one of the
+ * resources Table 1 lists as leasable.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "os/binder.h"
+#include "os/resource_listener.h"
+#include "os/service.h"
+#include "power/audio_model.h"
+
+namespace leaseos::os {
+
+/**
+ * Audio session service with lease/throttle interposition hooks.
+ */
+class AudioSessionService : public Service
+{
+  public:
+    /** Draw of an open-but-silent session's pipeline (DSP powered). */
+    static constexpr double kPipelineMw = 14.0;
+
+    AudioSessionService(sim::Simulator &sim, power::CpuModel &cpu,
+                        power::AudioModel &audio,
+                        power::EnergyAccountant &accountant,
+                        TokenAllocator &tokens);
+
+    // ---- App-facing API -------------------------------------------------
+
+    /** Open (acquire) an audio session. */
+    TokenId openSession(Uid uid);
+
+    /** Begin/stop audible playback on an open session. */
+    void startPlayback(TokenId token);
+    void stopPlayback(TokenId token);
+
+    /** Close (release) the session. */
+    void closeSession(TokenId token);
+
+    /** Kernel object death. */
+    void destroy(TokenId token);
+
+    bool isOpen(TokenId token) const;
+    bool isPlaying(TokenId token) const;
+
+    // ---- Interposition ---------------------------------------------------
+
+    void suspend(TokenId token);
+    void restore(TokenId token);
+    bool isSuspended(TokenId token) const;
+    bool isEnabled(TokenId token) const;
+    void setGlobalFilter(std::function<bool(Uid)> filter);
+    void refilter();
+    void addListener(ResourceListener *listener);
+
+    // ---- Metrics --------------------------------------------------------
+
+    /** Time @p uid has had an enabled session open. */
+    double openSeconds(Uid uid);
+
+    /** Time @p uid spent audibly playing through enabled sessions. */
+    double playingSeconds(Uid uid);
+
+    Uid ownerOf(TokenId token) const;
+
+  private:
+    struct Session {
+        Uid uid = kInvalidUid;
+        bool open = false;
+        bool playing = false;
+        bool suspended = false;
+        bool enabled = false;
+    };
+
+    void advance();
+    void apply();
+    bool allowedByFilter(Uid uid) const;
+
+    power::AudioModel &audio_;
+    power::EnergyAccountant &accountant_;
+    power::ChannelId pipelineChannel_;
+    TokenAllocator &tokens_;
+    std::map<TokenId, Session> sessions_;
+    std::function<bool(Uid)> filter_;
+    std::vector<ResourceListener *> listeners_;
+
+    sim::Time lastAdvance_;
+    std::map<Uid, double> openSeconds_;
+    std::map<Uid, double> playingSeconds_;
+    std::map<Uid, bool> lastPlaying_;
+};
+
+} // namespace leaseos::os
+
+#endif // LEASEOS_OS_AUDIO_SESSION_SERVICE_H

@@ -1,0 +1,5 @@
+#include "os/binder.h"
+
+// Binder types are header-only; this TU anchors the module in the build.
+namespace leaseos::os {
+} // namespace leaseos::os

@@ -1,0 +1,101 @@
+#ifndef LEASEOS_OS_BLUETOOTH_SERVICE_H
+#define LEASEOS_OS_BLUETOOTH_SERVICE_H
+
+/**
+ * @file
+ * Bluetooth scan management (android BluetoothLeScanner analog).
+ *
+ * Apps start scans and receive discovered-device callbacks; the radio
+ * draws scan power while any enabled registration exists. Same
+ * interposition surface as the other subscription services, so the
+ * Bluetooth lease proxy and the baselines plug in unchanged.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "os/binder.h"
+#include "os/resource_listener.h"
+#include "os/service.h"
+#include "power/bluetooth_model.h"
+
+namespace leaseos::os {
+
+/** App callback receiving discovered devices. */
+class ScanListener
+{
+  public:
+    virtual ~ScanListener() = default;
+    virtual void onDeviceFound(std::uint64_t deviceId) = 0;
+};
+
+/**
+ * Bluetooth scan service with lease/throttle interposition hooks.
+ */
+class BluetoothService : public Service
+{
+  public:
+    /** Cadence of discovery callbacks while scanning near devices. */
+    static constexpr sim::Time kDiscoveryInterval =
+        sim::Time::fromSeconds(12.0);
+
+    BluetoothService(sim::Simulator &sim, power::CpuModel &cpu,
+                     power::BluetoothModel &bluetooth,
+                     TokenAllocator &tokens);
+
+    /** How many distinct devices are in radio range (env knob). */
+    void setNearbyDevices(int count) { nearbyDevices_ = count; }
+
+    // ---- App-facing API ------------------------------------------------
+
+    TokenId startScan(Uid uid, ScanListener *listener);
+    void stopScan(TokenId token);
+    void destroy(TokenId token);
+    bool isActive(TokenId token) const;
+
+    // ---- Interposition ---------------------------------------------------
+
+    void suspend(TokenId token);
+    void restore(TokenId token);
+    bool isSuspended(TokenId token) const;
+    bool isEnabled(TokenId token) const;
+    void setGlobalFilter(std::function<bool(Uid)> filter);
+    void refilter();
+    void addListener(ResourceListener *listener);
+
+    // ---- Metrics --------------------------------------------------------
+
+    double scanSeconds(Uid uid) { return bluetooth_.scanSeconds(uid); }
+    std::uint64_t discoveries(Uid uid) const;
+    Uid ownerOf(TokenId token) const;
+
+  private:
+    struct Scan {
+        Uid uid = kInvalidUid;
+        ScanListener *listener = nullptr;
+        bool active = false;
+        bool suspended = false;
+        bool enabled = false;
+        bool tickScheduled = false;
+    };
+
+    void apply();
+    bool allowedByFilter(Uid uid) const;
+    void scheduleTick(TokenId token);
+    void deliverTick(TokenId token);
+
+    power::BluetoothModel &bluetooth_;
+    TokenAllocator &tokens_;
+    int nearbyDevices_ = 3;
+    std::map<TokenId, Scan> scans_;
+    std::function<bool(Uid)> filter_;
+    std::vector<ResourceListener *> listeners_;
+    std::map<Uid, std::uint64_t> discoveries_;
+    std::uint64_t nextDeviceId_ = 1;
+};
+
+} // namespace leaseos::os
+
+#endif // LEASEOS_OS_BLUETOOTH_SERVICE_H

@@ -1,0 +1,73 @@
+#include "os/display_manager_service.h"
+
+#include <utility>
+
+namespace leaseos::os {
+
+DisplayManagerService::DisplayManagerService(sim::Simulator &sim,
+                                             power::CpuModel &cpu,
+                                             power::ScreenModel &screen)
+    : Service(sim, cpu, "display"), screen_(screen), lastAdvance_(sim.now())
+{
+}
+
+void
+DisplayManagerService::advance()
+{
+    sim::Time now = sim_.now();
+    if (now <= lastAdvance_) {
+        lastAdvance_ = now;
+        return;
+    }
+    double dt = (now - lastAdvance_).seconds();
+    if (screen_.isOn() && !userOn_ && !forcedOwners_.empty())
+        forcedOnSeconds_ += dt;
+    lastAdvance_ = now;
+}
+
+void
+DisplayManagerService::apply()
+{
+    bool on = userOn_ || !forcedOwners_.empty();
+    // Forced-only screen time is attributed to the forcing apps;
+    // user-initiated screen time goes to the system bucket.
+    std::vector<Uid> owners;
+    if (!userOn_ && !forcedOwners_.empty()) owners = forcedOwners_;
+    screen_.setOn(on, owners);
+    cpu_.setScreenOn(on);
+    if (on != lastOn_) {
+        lastOn_ = on;
+        for (const auto &fn : stateListeners_) fn(on);
+    }
+}
+
+void
+DisplayManagerService::userSetScreen(bool on)
+{
+    advance();
+    userOn_ = on;
+    apply();
+}
+
+void
+DisplayManagerService::setForcedOwners(std::vector<Uid> owners)
+{
+    advance();
+    forcedOwners_ = std::move(owners);
+    apply();
+}
+
+double
+DisplayManagerService::forcedOnSeconds()
+{
+    advance();
+    return forcedOnSeconds_;
+}
+
+void
+DisplayManagerService::addStateListener(std::function<void(bool)> fn)
+{
+    stateListeners_.push_back(std::move(fn));
+}
+
+} // namespace leaseos::os

@@ -1,0 +1,5 @@
+#include "os/exception_note_handler.h"
+
+// ExceptionNoteHandler is header-only; this TU anchors the module.
+namespace leaseos::os {
+} // namespace leaseos::os

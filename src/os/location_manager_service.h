@@ -1,0 +1,133 @@
+#ifndef LEASEOS_OS_LOCATION_MANAGER_SERVICE_H
+#define LEASEOS_OS_LOCATION_MANAGER_SERVICE_H
+
+/**
+ * @file
+ * Location updates (android LocationManagerService analog).
+ *
+ * Apps register listeners with a requested update interval; the service
+ * drives the GPS hardware model and delivers fixes while a lock is held.
+ * GPS is a subscription-style resource: the kernel object is the update
+ * request, and "holding" it means the receiver keeps running. The metrics
+ * exposed here feed the lease utility calculation: total request time,
+ * no-fix (failed) request time for FAB, delivered-fix count, and distance
+ * moved for the generic GPS utility (§3.3).
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/geo.h"
+#include "os/binder.h"
+#include "os/resource_listener.h"
+#include "os/service.h"
+#include "power/gps_model.h"
+
+namespace leaseos::os {
+
+/** App callback receiving location fixes. */
+class LocationListener
+{
+  public:
+    virtual ~LocationListener() = default;
+    virtual void onLocation(const GeoPoint &point) = 0;
+};
+
+/**
+ * GPS request management with lease/throttle interposition hooks.
+ */
+class LocationManagerService : public Service
+{
+  public:
+    /** Provides the device's true position (from env::GpsEnvironment). */
+    using PositionFn = std::function<GeoPoint(sim::Time)>;
+
+    LocationManagerService(sim::Simulator &sim, power::CpuModel &cpu,
+                           power::GpsModel &gps, TokenAllocator &tokens);
+
+    /** Install the ground-truth position source. */
+    void setPositionFn(PositionFn fn) { positionFn_ = std::move(fn); }
+
+    // ---- App-facing API -------------------------------------------------
+
+    /**
+     * Register for location updates every @p interval.
+     * @return the kernel object id for this request.
+     */
+    TokenId requestLocationUpdates(Uid uid, sim::Time interval,
+                                   LocationListener *listener);
+
+    /** App-initiated removal (the "release"). */
+    void removeUpdates(TokenId token);
+
+    /** Kernel object death (app exit). */
+    void destroy(TokenId token);
+
+    bool isActive(TokenId token) const;
+
+    // ---- Interposition ---------------------------------------------------
+
+    void suspend(TokenId token);
+    void restore(TokenId token);
+    bool isSuspended(TokenId token) const;
+    bool isEnabled(TokenId token) const;
+    void setGlobalFilter(std::function<bool(Uid)> filter);
+    void refilter();
+    void addListener(ResourceListener *listener);
+
+    // ---- Metrics --------------------------------------------------------
+
+    /** Time an enabled request has been outstanding. */
+    double requestSeconds(Uid uid);
+
+    /** Outstanding-and-enabled time during which there was no fix. */
+    double noFixSeconds(Uid uid);
+
+    std::uint64_t fixCount(Uid uid) const;
+    std::uint64_t requestCount(Uid uid) const;
+
+    /** Metres moved between consecutive delivered fixes. */
+    double distanceMeters(Uid uid) const;
+
+    Uid ownerOf(TokenId token) const;
+    bool hasFix() const { return gps_.hasFix(); }
+
+  private:
+    struct Request {
+        Uid uid = kInvalidUid;
+        sim::Time interval;
+        LocationListener *listener = nullptr;
+        bool active = false;
+        bool suspended = false;
+        bool enabled = false;
+        bool tickScheduled = false;
+        bool hasLastPoint = false;
+        GeoPoint lastPoint;
+    };
+
+    void advance();
+    void apply();
+    bool allowedByFilter(Uid uid) const;
+    void scheduleTick(TokenId token);
+    void deliverTick(TokenId token);
+
+    power::GpsModel &gps_;
+    TokenAllocator &tokens_;
+    PositionFn positionFn_;
+    std::map<TokenId, Request> requests_;
+    std::function<bool(Uid)> filter_;
+    std::vector<ResourceListener *> listeners_;
+
+    sim::Time lastAdvance_;
+    std::map<Uid, double> requestSeconds_;
+    std::map<Uid, double> noFixSeconds_;
+    std::map<Uid, std::uint64_t> fixCount_;
+    std::map<Uid, std::uint64_t> requestCount_;
+    std::map<Uid, double> distanceMeters_;
+};
+
+} // namespace leaseos::os
+
+#endif // LEASEOS_OS_LOCATION_MANAGER_SERVICE_H

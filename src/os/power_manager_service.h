@@ -1,0 +1,161 @@
+#ifndef LEASEOS_OS_POWER_MANAGER_SERVICE_H
+#define LEASEOS_OS_POWER_MANAGER_SERVICE_H
+
+/**
+ * @file
+ * Wakelock management (android.os.PowerManagerService analog).
+ *
+ * Apps create wakelocks (kernel IBinder tokens) and acquire/release them.
+ * A held *partial* wakelock keeps the CPU awake; a held *full* wakelock
+ * additionally forces the screen on (the ConnectBot / Standup Timer bug
+ * pattern). The service maintains the internal token array that decides
+ * whether the CPU may deep-sleep — exactly the array the wakelock lease
+ * proxy mutates in onExpire (§4.4: "remove the IBinder from the array").
+ *
+ * Interposition surface used by LeaseOS / DefDroid / Doze:
+ *  - suspend(token)/restore(token): temporarily pull one kernel object out
+ *    of the array without the app noticing (the descriptor stays valid and
+ *    acquire/release IPCs behave as §4.6 describes);
+ *  - setGlobalFilter(uid -> allow): Doze-style gating of whole uids.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "os/binder.h"
+#include "os/resource_listener.h"
+#include "os/service.h"
+
+namespace leaseos::os {
+
+/** Android wakelock levels we distinguish. */
+enum class WakeLockType {
+    Partial, ///< CPU stays on; screen may sleep
+    Full     ///< CPU and screen stay on
+};
+
+/**
+ * Wakelock service with lease/throttle interposition hooks.
+ */
+class PowerManagerService : public Service
+{
+  public:
+    PowerManagerService(sim::Simulator &sim, power::CpuModel &cpu,
+                        TokenAllocator &tokens);
+
+    // ---- App-facing API (binder IPCs) --------------------------------
+
+    /** Create a wakelock kernel object; does not acquire it. */
+    TokenId newWakeLock(Uid uid, WakeLockType type, std::string tag);
+
+    /** Acquire; nested acquires are idempotent (counted as re-acquire). */
+    void acquire(TokenId token);
+
+    /** Release; unknown/unheld tokens are ignored (Android semantics). */
+    void release(TokenId token);
+
+    /** Kernel object death (app exit / GC of the wrapper). */
+    void destroy(TokenId token);
+
+    bool isHeld(TokenId token) const;
+
+    // ---- Interposition (same-address-space, no IPC) -------------------
+
+    /** Pull @p token out of the kernel array; the app keeps "holding" it. */
+    void suspend(TokenId token);
+
+    /** Undo suspend(); re-enables the lock if the app still holds it. */
+    void restore(TokenId token);
+
+    bool isSuspended(TokenId token) const;
+
+    /**
+     * Whether the token currently keeps hardware awake:
+     * held && !suspended && filter(uid).
+     */
+    bool isEnabled(TokenId token) const;
+
+    /**
+     * Doze-style global gate. Pass nullptr to clear. The filter is
+     * re-evaluated immediately and on every subsequent state change.
+     * The typed variant lets a policy exempt lock levels (Doze defers
+     * background CPU but never forces the panel off).
+     */
+    void setGlobalFilter(std::function<bool(Uid)> filter);
+    void
+    setGlobalFilter(std::function<bool(Uid, WakeLockType)> filter);
+
+    /** Remove any global gate (avoids nullptr-overload ambiguity). */
+    void clearGlobalFilter();
+
+    /** Re-apply the global filter after external state changed. */
+    void refilter();
+
+    void addListener(ResourceListener *listener);
+
+    // ---- Metrics --------------------------------------------------------
+
+    /** App-perspective holding time (held, regardless of suspension). */
+    double heldSeconds(Uid uid);
+    double heldSecondsForToken(TokenId token);
+
+    /** Effective time the token kept hardware awake. */
+    double enabledSeconds(Uid uid);
+    double enabledSecondsForToken(TokenId token);
+
+    std::uint64_t acquireCount(Uid uid) const;
+    std::uint64_t releaseCount(Uid uid) const;
+
+    /** Uids with at least one enabled partial or full lock. */
+    std::vector<Uid> enabledOwners() const;
+
+    Uid ownerOf(TokenId token) const;
+    const std::string &tagOf(TokenId token) const;
+    WakeLockType typeOf(TokenId token) const;
+
+    /**
+     * Display coupling: invoked with the uids whose *full* locks are
+     * enabled whenever that set changes.
+     */
+    void setFullLockCallback(std::function<void(std::vector<Uid>)> cb);
+
+  private:
+    struct Lock {
+        Uid uid = kInvalidUid;
+        WakeLockType type = WakeLockType::Partial;
+        std::string tag;
+        bool held = false;
+        bool suspended = false;
+        bool enabled = false;
+        double heldSeconds = 0.0;
+        double enabledSeconds = 0.0;
+    };
+
+    /** Integrate per-token and per-uid times up to now. */
+    void advance();
+
+    /** Recompute enabled flags and push wake sources to hardware. */
+    void apply();
+
+    bool allowedByFilter(Uid uid, WakeLockType type) const;
+
+    TokenAllocator &tokens_;
+    std::map<TokenId, Lock> locks_;
+    std::function<bool(Uid, WakeLockType)> filter_;
+    std::function<void(std::vector<Uid>)> fullLockCb_;
+    std::vector<ResourceListener *> listeners_;
+
+    sim::Time lastAdvance_;
+    std::map<Uid, double> heldSeconds_;
+    std::map<Uid, double> enabledSeconds_;
+    std::map<Uid, std::uint64_t> acquireCount_;
+    std::map<Uid, std::uint64_t> releaseCount_;
+    std::vector<Uid> lastFullOwners_;
+};
+
+} // namespace leaseos::os
+
+#endif // LEASEOS_OS_POWER_MANAGER_SERVICE_H

@@ -1,0 +1,58 @@
+#ifndef LEASEOS_OS_RESOURCE_LISTENER_H
+#define LEASEOS_OS_RESOURCE_LISTENER_H
+
+/**
+ * @file
+ * Observer interface for kernel-object lifecycle events.
+ *
+ * Lease proxies (§4.4) interpose on the OS subsystems by watching the
+ * kernel objects those subsystems manage. Every resource service publishes
+ * the same four lifecycle events; a proxy translates them into lease
+ * operations (create / noteEvent / remove) toward the lease manager.
+ */
+
+#include "common/ids.h"
+#include "os/binder.h"
+
+namespace leaseos::os {
+
+/**
+ * Lifecycle callbacks for one resource service's kernel objects.
+ */
+class ResourceListener
+{
+  public:
+    virtual ~ResourceListener() = default;
+
+    /** A kernel object came into existence (e.g. newWakeLock). */
+    virtual void onCreated(TokenId token, Uid uid)
+    {
+        (void)token;
+        (void)uid;
+    }
+
+    /** The app acquired / re-acquired the resource. */
+    virtual void onAcquired(TokenId token, Uid uid)
+    {
+        (void)token;
+        (void)uid;
+    }
+
+    /** The app released the resource (object still exists). */
+    virtual void onReleased(TokenId token, Uid uid)
+    {
+        (void)token;
+        (void)uid;
+    }
+
+    /** The kernel object is gone (app death or explicit destroy). */
+    virtual void onDestroyed(TokenId token, Uid uid)
+    {
+        (void)token;
+        (void)uid;
+    }
+};
+
+} // namespace leaseos::os
+
+#endif // LEASEOS_OS_RESOURCE_LISTENER_H

@@ -1,0 +1,225 @@
+#include "os/sensor_manager_service.h"
+
+#include <utility>
+
+namespace leaseos::os {
+
+SensorManagerService::SensorManagerService(sim::Simulator &sim,
+                                           power::CpuModel &cpu,
+                                           power::SensorModel &sensors,
+                                           TokenAllocator &tokens)
+    : Service(sim, cpu, "sensor"), sensors_(sensors), tokens_(tokens),
+      lastAdvance_(sim.now())
+{
+    readingFn_ = [](power::SensorType, sim::Time) { return 0.0; };
+}
+
+void
+SensorManagerService::advance()
+{
+    sim::Time now = sim_.now();
+    if (now <= lastAdvance_) {
+        lastAdvance_ = now;
+        return;
+    }
+    double dt = (now - lastAdvance_).seconds();
+    for (auto &[token, reg] : regs_)
+        if (reg.enabled) registeredSeconds_[reg.uid] += dt;
+    lastAdvance_ = now;
+}
+
+bool
+SensorManagerService::allowedByFilter(Uid uid) const
+{
+    return !filter_ || filter_(uid);
+}
+
+void
+SensorManagerService::apply()
+{
+    for (auto &[token, reg] : regs_) {
+        bool enabled =
+            reg.active && !reg.suspended && allowedByFilter(reg.uid);
+        bool was_hw = hwRegs_.count(token) != 0;
+        if (enabled && !was_hw) {
+            sensors_.registerUse(reg.type, reg.uid);
+            hwRegs_[token] = {reg.type, reg.uid};
+        } else if (!enabled && was_hw) {
+            sensors_.unregisterUse(reg.type, reg.uid);
+            hwRegs_.erase(token);
+        }
+        if (enabled && !reg.enabled) {
+            reg.enabled = true;
+            scheduleTick(token);
+        } else {
+            reg.enabled = enabled;
+        }
+    }
+    // Drop hardware registrations whose request object died.
+    for (auto it = hwRegs_.begin(); it != hwRegs_.end();) {
+        if (regs_.count(it->first) == 0) {
+            sensors_.unregisterUse(it->second.first, it->second.second);
+            it = hwRegs_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+SensorManagerService::scheduleTick(TokenId token)
+{
+    auto it = regs_.find(token);
+    if (it == regs_.end() || it->second.tickScheduled) return;
+    it->second.tickScheduled = true;
+    sim_.schedule(it->second.rate, [this, token] { deliverTick(token); });
+}
+
+void
+SensorManagerService::deliverTick(TokenId token)
+{
+    auto it = regs_.find(token);
+    if (it == regs_.end()) return;
+    Registration &reg = it->second;
+    reg.tickScheduled = false;
+    if (!reg.enabled) return; // suspended: callbacks withheld
+    ++eventCount_[reg.uid];
+    if (reg.listener) {
+        cpu_.runWorkFor(reg.uid, 0.2, sim::Time::fromMillis(1));
+        reg.listener->onSensorEvent(reg.type,
+                                    readingFn_(reg.type, sim_.now()));
+    }
+    scheduleTick(token);
+}
+
+TokenId
+SensorManagerService::registerListener(Uid uid, power::SensorType type,
+                                       sim::Time rate,
+                                       SensorEventListener *listener)
+{
+    chargeIpc(uid, kResourceIpcLatency);
+    advance();
+    TokenId token = tokens_.next();
+    Registration reg;
+    reg.uid = uid;
+    reg.type = type;
+    reg.rate = rate;
+    reg.listener = listener;
+    reg.active = true;
+    regs_.emplace(token, reg);
+    apply();
+    for (auto *l : listeners_) l->onCreated(token, uid);
+    for (auto *l : listeners_) l->onAcquired(token, uid);
+    return token;
+}
+
+void
+SensorManagerService::unregisterListener(TokenId token)
+{
+    auto it = regs_.find(token);
+    if (it == regs_.end() || !it->second.active) return;
+    Uid uid = it->second.uid;
+    chargeIpc(uid, kBinderIpcLatency);
+    advance();
+    it->second.active = false;
+    apply();
+    for (auto *l : listeners_) l->onReleased(token, uid);
+}
+
+void
+SensorManagerService::destroy(TokenId token)
+{
+    auto it = regs_.find(token);
+    if (it == regs_.end()) return;
+    advance();
+    Uid uid = it->second.uid;
+    regs_.erase(it);
+    apply();
+    for (auto *l : listeners_) l->onDestroyed(token, uid);
+}
+
+bool
+SensorManagerService::isActive(TokenId token) const
+{
+    auto it = regs_.find(token);
+    return it != regs_.end() && it->second.active;
+}
+
+void
+SensorManagerService::suspend(TokenId token)
+{
+    auto it = regs_.find(token);
+    if (it == regs_.end() || it->second.suspended) return;
+    advance();
+    it->second.suspended = true;
+    apply();
+}
+
+void
+SensorManagerService::restore(TokenId token)
+{
+    auto it = regs_.find(token);
+    if (it == regs_.end() || !it->second.suspended) return;
+    advance();
+    it->second.suspended = false;
+    apply();
+}
+
+bool
+SensorManagerService::isSuspended(TokenId token) const
+{
+    auto it = regs_.find(token);
+    return it != regs_.end() && it->second.suspended;
+}
+
+bool
+SensorManagerService::isEnabled(TokenId token) const
+{
+    auto it = regs_.find(token);
+    return it != regs_.end() && it->second.enabled;
+}
+
+void
+SensorManagerService::setGlobalFilter(std::function<bool(Uid)> filter)
+{
+    advance();
+    filter_ = std::move(filter);
+    apply();
+}
+
+void
+SensorManagerService::refilter()
+{
+    advance();
+    apply();
+}
+
+void
+SensorManagerService::addListener(ResourceListener *listener)
+{
+    listeners_.push_back(listener);
+}
+
+double
+SensorManagerService::registeredSeconds(Uid uid)
+{
+    advance();
+    auto it = registeredSeconds_.find(uid);
+    return it == registeredSeconds_.end() ? 0.0 : it->second;
+}
+
+std::uint64_t
+SensorManagerService::eventCount(Uid uid) const
+{
+    auto it = eventCount_.find(uid);
+    return it == eventCount_.end() ? 0 : it->second;
+}
+
+Uid
+SensorManagerService::ownerOf(TokenId token) const
+{
+    auto it = regs_.find(token);
+    return it == regs_.end() ? kInvalidUid : it->second.uid;
+}
+
+} // namespace leaseos::os

@@ -1,0 +1,110 @@
+#ifndef LEASEOS_OS_SENSOR_MANAGER_SERVICE_H
+#define LEASEOS_OS_SENSOR_MANAGER_SERVICE_H
+
+/**
+ * @file
+ * Sensor listener management (android SensorService analog).
+ *
+ * Like GPS, sensors are subscription-style: apps register listeners at a
+ * sampling rate and the OS invokes them. The TapAndTurn and Riot bugs in
+ * Table 5 keep sensor listeners registered while producing no user-visible
+ * value — the Low-Utility pattern the custom utility counter of Fig. 6
+ * exists for.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "os/binder.h"
+#include "os/resource_listener.h"
+#include "os/service.h"
+#include "power/sensor_model.h"
+
+namespace leaseos::os {
+
+/** App callback receiving sensor samples. */
+class SensorEventListener
+{
+  public:
+    virtual ~SensorEventListener() = default;
+    virtual void onSensorEvent(power::SensorType type, double value) = 0;
+};
+
+/**
+ * Sensor registration service with interposition hooks.
+ */
+class SensorManagerService : public Service
+{
+  public:
+    /** Ground-truth reading source (from env::MotionModel). */
+    using ReadingFn = std::function<double(power::SensorType, sim::Time)>;
+
+    SensorManagerService(sim::Simulator &sim, power::CpuModel &cpu,
+                         power::SensorModel &sensors,
+                         TokenAllocator &tokens);
+
+    void setReadingFn(ReadingFn fn) { readingFn_ = std::move(fn); }
+
+    // ---- App-facing API ------------------------------------------------
+
+    TokenId registerListener(Uid uid, power::SensorType type,
+                             sim::Time rate, SensorEventListener *listener);
+    void unregisterListener(TokenId token);
+    void destroy(TokenId token);
+    bool isActive(TokenId token) const;
+
+    // ---- Interposition ---------------------------------------------------
+
+    void suspend(TokenId token);
+    void restore(TokenId token);
+    bool isSuspended(TokenId token) const;
+    bool isEnabled(TokenId token) const;
+    void setGlobalFilter(std::function<bool(Uid)> filter);
+    void refilter();
+    void addListener(ResourceListener *listener);
+
+    // ---- Metrics --------------------------------------------------------
+
+    /** Time @p uid has had an enabled registration outstanding. */
+    double registeredSeconds(Uid uid);
+    std::uint64_t eventCount(Uid uid) const;
+    Uid ownerOf(TokenId token) const;
+
+  private:
+    struct Registration {
+        Uid uid = kInvalidUid;
+        power::SensorType type = power::SensorType::Accelerometer;
+        sim::Time rate;
+        SensorEventListener *listener = nullptr;
+        bool active = false;
+        bool suspended = false;
+        bool enabled = false;
+        bool tickScheduled = false;
+    };
+
+    void advance();
+    void apply();
+    bool allowedByFilter(Uid uid) const;
+    void scheduleTick(TokenId token);
+    void deliverTick(TokenId token);
+
+    power::SensorModel &sensors_;
+    TokenAllocator &tokens_;
+    ReadingFn readingFn_;
+    std::map<TokenId, Registration> regs_;
+    std::function<bool(Uid)> filter_;
+    std::vector<ResourceListener *> listeners_;
+
+    /** Hardware registrations we currently hold, to diff on apply(). */
+    std::map<TokenId, std::pair<power::SensorType, Uid>> hwRegs_;
+
+    sim::Time lastAdvance_;
+    std::map<Uid, double> registeredSeconds_;
+    std::map<Uid, std::uint64_t> eventCount_;
+};
+
+} // namespace leaseos::os
+
+#endif // LEASEOS_OS_SENSOR_MANAGER_SERVICE_H

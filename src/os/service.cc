@@ -1,0 +1,5 @@
+#include "os/service.h"
+
+// Service is header-only; this TU anchors the module in the build.
+namespace leaseos::os {
+} // namespace leaseos::os

@@ -1,0 +1,87 @@
+#ifndef LEASEOS_OS_WIFI_MANAGER_SERVICE_H
+#define LEASEOS_OS_WIFI_MANAGER_SERVICE_H
+
+/**
+ * @file
+ * Wi-Fi lock management (android WifiManager/WifiService analog).
+ *
+ * A held Wi-Fi high-performance lock keeps the radio out of power-save.
+ * The ConnectBot b7cc89c bug in Table 5 held one even when the active
+ * network was not Wi-Fi. Structure mirrors PowerManagerService.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "os/binder.h"
+#include "os/resource_listener.h"
+#include "os/service.h"
+#include "power/radio_model.h"
+
+namespace leaseos::os {
+
+/**
+ * Wi-Fi lock service with interposition hooks.
+ */
+class WifiManagerService : public Service
+{
+  public:
+    WifiManagerService(sim::Simulator &sim, power::CpuModel &cpu,
+                       power::RadioModel &radio, TokenAllocator &tokens);
+
+    // ---- App-facing API ------------------------------------------------
+
+    TokenId createWifiLock(Uid uid, std::string tag);
+    void acquire(TokenId token);
+    void release(TokenId token);
+    void destroy(TokenId token);
+    bool isHeld(TokenId token) const;
+
+    // ---- Interposition --------------------------------------------------
+
+    void suspend(TokenId token);
+    void restore(TokenId token);
+    bool isSuspended(TokenId token) const;
+    bool isEnabled(TokenId token) const;
+    void setGlobalFilter(std::function<bool(Uid)> filter);
+    void refilter();
+    void addListener(ResourceListener *listener);
+
+    // ---- Metrics --------------------------------------------------------
+
+    double heldSeconds(Uid uid);
+    double enabledSeconds(Uid uid);
+    std::uint64_t acquireCount(Uid uid) const;
+    Uid ownerOf(TokenId token) const;
+
+  private:
+    struct Lock {
+        Uid uid = kInvalidUid;
+        std::string tag;
+        bool held = false;
+        bool suspended = false;
+        bool enabled = false;
+    };
+
+    void advance();
+    void apply();
+    bool allowedByFilter(Uid uid) const;
+
+    power::RadioModel &radio_;
+    TokenAllocator &tokens_;
+    std::map<TokenId, Lock> locks_;
+    std::function<bool(Uid)> filter_;
+    std::vector<ResourceListener *> listeners_;
+
+    sim::Time lastAdvance_;
+    std::map<Uid, double> heldSeconds_;
+    std::map<Uid, double> enabledSeconds_;
+    std::map<Uid, std::uint64_t> acquireCount_;
+};
+
+} // namespace leaseos::os
+
+#endif // LEASEOS_OS_WIFI_MANAGER_SERVICE_H

@@ -1,0 +1,5 @@
+#include "power/battery.h"
+
+// Battery is header-only; this TU anchors the module in the build.
+namespace leaseos::power {
+} // namespace leaseos::power

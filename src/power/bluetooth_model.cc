@@ -1,0 +1,5 @@
+#include "power/bluetooth_model.h"
+
+// BluetoothModel is header-only; this TU anchors the module.
+namespace leaseos::power {
+} // namespace leaseos::power

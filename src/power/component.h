@@ -1,0 +1,53 @@
+#ifndef LEASEOS_POWER_COMPONENT_H
+#define LEASEOS_POWER_COMPONENT_H
+
+/**
+ * @file
+ * Base class for power-drawing hardware components.
+ *
+ * A component owns one or more accountant channels and translates its
+ * semantic state (awake, searching, playing, ...) into per-uid power
+ * shares whenever that state changes.
+ */
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "power/device_profile.h"
+#include "power/energy_accountant.h"
+#include "sim/simulator.h"
+
+namespace leaseos::power {
+
+/**
+ * Common plumbing for hardware component models.
+ */
+class PowerComponent
+{
+  public:
+    PowerComponent(sim::Simulator &sim, EnergyAccountant &accountant,
+                   const DeviceProfile &profile, std::string name)
+        : sim_(sim), accountant_(accountant), profile_(profile),
+          name_(std::move(name)) {}
+
+    virtual ~PowerComponent() = default;
+    PowerComponent(const PowerComponent &) = delete;
+    PowerComponent &operator=(const PowerComponent &) = delete;
+
+    const std::string &name() const { return name_; }
+    const DeviceProfile &profile() const { return profile_; }
+
+  protected:
+    sim::Simulator &sim_;
+    EnergyAccountant &accountant_;
+    DeviceProfile profile_;
+
+  private:
+    std::string name_;
+};
+
+} // namespace leaseos::power
+
+#endif // LEASEOS_POWER_COMPONENT_H

@@ -1,0 +1,280 @@
+#include "power/cpu_model.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace leaseos::power {
+
+CpuModel::CpuModel(sim::Simulator &sim, EnergyAccountant &accountant,
+                   const DeviceProfile &profile)
+    : PowerComponent(sim, accountant, profile, "cpu"),
+      idleChannel_(accountant.makeChannel("cpu_idle")),
+      busyChannel_(accountant.makeChannel("cpu_busy")),
+      lastAdvance_(sim.now())
+{
+    updateWakeState();
+    updatePower();
+}
+
+void
+CpuModel::advance()
+{
+    sim::Time now = sim_.now();
+    if (now <= lastAdvance_) {
+        lastAdvance_ = now;
+        return;
+    }
+    double dt = (now - lastAdvance_).seconds();
+    if (awake_) {
+        awakeSeconds_ += dt;
+        double freq = currentFreq();
+        for (const auto &[token, task] : tasks_) {
+            cpuSeconds_[task.uid] += task.load * dt;
+            normalizedCpuSeconds_[task.uid] += task.load * dt * freq;
+        }
+        if (dvfsEnabled_) {
+            if (levelSeconds_.size() < profile_.dvfsLevels.size())
+                levelSeconds_.resize(profile_.dvfsLevels.size(), 0.0);
+            levelSeconds_[dvfsLevel_] += dt;
+        }
+    } else {
+        asleepSeconds_ += dt;
+    }
+    lastAdvance_ = now;
+}
+
+void
+CpuModel::updateWakeState()
+{
+    advance();
+    bool awake = screenOn_ || wakeWindows_ > 0 ||
+        !wakelockOwners_.empty() || !audioOwners_.empty();
+    if (awake == awake_) return;
+    awake_ = awake;
+    for (const auto &fn : stateListeners_) fn(awake_);
+    if (awake_) {
+        // Flush paused app work. Waiters run as zero-delay events so the
+        // wake transition completes before any app code runs.
+        auto waiters = std::move(wakeWaiters_);
+        wakeWaiters_.clear();
+        for (auto &fn : waiters)
+            sim_.schedule(sim::Time::zero(), std::move(fn));
+    }
+}
+
+void
+CpuModel::updatePower()
+{
+    if (!awake_) {
+        accountant_.setPower(idleChannel_, profile_.cpuSleepMw,
+                             {kSystemUid});
+        accountant_.setPowerShares(busyChannel_, {});
+        return;
+    }
+
+    // Awake-idle baseline: attributed to whatever keeps the CPU awake.
+    // Screen-on and wake windows are user/system initiated; wakelocks are
+    // app-initiated. The wakelock attribution is the Table 5 "wasted
+    // power" signal, so wakelock holders take the idle cost when the
+    // screen is off.
+    std::vector<Uid> owners;
+    if (!screenOn_ &&
+        (!wakelockOwners_.empty() || !audioOwners_.empty())) {
+        std::set<Uid> holders(wakelockOwners_.begin(),
+                              wakelockOwners_.end());
+        holders.insert(audioOwners_.begin(), audioOwners_.end());
+        owners.assign(holders.begin(), holders.end());
+    } else {
+        owners = {kSystemUid};
+    }
+    accountant_.setPower(idleChannel_, profile_.cpuIdleAwakeMw, owners);
+
+    // Busy power: per-task shares, total load capped at core count,
+    // scaled by the DVFS operating point's power factor.
+    double total_load = currentLoad();
+    double cap = static_cast<double>(profile_.cores);
+    double scale = total_load > cap ? cap / total_load : 1.0;
+    double per_core = profile_.cpuActivePerCoreMw * currentPowerFactor();
+    std::vector<std::pair<Uid, double>> shares;
+    std::map<Uid, double> merged;
+    for (const auto &[token, task] : tasks_)
+        merged[task.uid] += task.load * scale * per_core;
+    shares.assign(merged.begin(), merged.end());
+    accountant_.setPowerShares(busyChannel_, std::move(shares));
+}
+
+void
+CpuModel::setWakelockOwners(std::vector<Uid> owners)
+{
+    advance();
+    wakelockOwners_ = std::move(owners);
+    updateWakeState();
+    updatePower();
+}
+
+void
+CpuModel::setAudioSessionOwners(std::vector<Uid> owners)
+{
+    advance();
+    audioOwners_ = std::move(owners);
+    updateWakeState();
+    updatePower();
+}
+
+void
+CpuModel::setScreenOn(bool on)
+{
+    advance();
+    screenOn_ = on;
+    updateWakeState();
+    updatePower();
+}
+
+void
+CpuModel::addWakeWindow(sim::Time duration)
+{
+    advance();
+    ++wakeWindows_;
+    updateWakeState();
+    updatePower();
+    sim_.schedule(duration, [this] {
+        advance();
+        --wakeWindows_;
+        updateWakeState();
+        updatePower();
+    });
+}
+
+CpuModel::WorkToken
+CpuModel::beginWork(Uid uid, double load)
+{
+    advance();
+    WorkToken token = nextToken_++;
+    tasks_[token] = Task{uid, std::max(0.0, load)};
+    updateGovernor();
+    updatePower();
+    return token;
+}
+
+void
+CpuModel::endWork(WorkToken token)
+{
+    advance();
+    tasks_.erase(token);
+    updateGovernor();
+    updatePower();
+}
+
+void
+CpuModel::runWorkFor(Uid uid, double load, sim::Time duration)
+{
+    WorkToken token = beginWork(uid, load);
+    sim_.schedule(duration, [this, token] { endWork(token); });
+}
+
+double
+CpuModel::currentLoad() const
+{
+    double load = 0.0;
+    for (const auto &[token, task] : tasks_) load += task.load;
+    return load;
+}
+
+void
+CpuModel::notifyOnWake(std::function<void()> fn)
+{
+    if (awake_) {
+        sim_.schedule(sim::Time::zero(), std::move(fn));
+    } else {
+        wakeWaiters_.push_back(std::move(fn));
+    }
+}
+
+void
+CpuModel::addStateListener(std::function<void(bool)> fn)
+{
+    stateListeners_.push_back(std::move(fn));
+}
+
+void
+CpuModel::setDvfsEnabled(bool enabled)
+{
+    advance();
+    dvfsEnabled_ = enabled && !profile_.dvfsLevels.empty();
+    updateGovernor();
+    updatePower();
+}
+
+double
+CpuModel::currentFreq() const
+{
+    if (!dvfsEnabled_) return 1.0;
+    return profile_.dvfsLevels[dvfsLevel_].freq;
+}
+
+double
+CpuModel::currentPowerFactor() const
+{
+    if (!dvfsEnabled_) return 1.0;
+    return profile_.dvfsLevels[dvfsLevel_].powerFactor;
+}
+
+void
+CpuModel::updateGovernor()
+{
+    if (!dvfsEnabled_) return;
+    // Ondemand-style: pick the lowest operating point whose frequency
+    // covers the demanded load with ~30 % headroom.
+    double demand = std::min(currentLoad(),
+                             static_cast<double>(profile_.cores));
+    double needed =
+        demand / static_cast<double>(profile_.cores) * 1.3;
+    std::size_t level = profile_.dvfsLevels.size() - 1;
+    for (std::size_t i = 0; i < profile_.dvfsLevels.size(); ++i) {
+        if (profile_.dvfsLevels[i].freq >= needed) {
+            level = i;
+            break;
+        }
+    }
+    dvfsLevel_ = level;
+}
+
+double
+CpuModel::levelSeconds(std::size_t level)
+{
+    advance();
+    return level < levelSeconds_.size() ? levelSeconds_[level] : 0.0;
+}
+
+double
+CpuModel::normalizedCpuSeconds(Uid uid)
+{
+    advance();
+    auto it = normalizedCpuSeconds_.find(uid);
+    return it == normalizedCpuSeconds_.end() ? 0.0 : it->second;
+}
+
+double
+CpuModel::cpuSeconds(Uid uid)
+{
+    advance();
+    auto it = cpuSeconds_.find(uid);
+    return it == cpuSeconds_.end() ? 0.0 : it->second;
+}
+
+double
+CpuModel::awakeSeconds()
+{
+    advance();
+    return awakeSeconds_;
+}
+
+double
+CpuModel::asleepSeconds()
+{
+    advance();
+    return asleepSeconds_;
+}
+
+} // namespace leaseos::power

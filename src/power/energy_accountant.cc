@@ -1,0 +1,141 @@
+#include "power/energy_accountant.h"
+
+#include <cassert>
+
+namespace leaseos::power {
+
+ChannelId
+EnergyAccountant::makeChannel(std::string name)
+{
+    // Creating a channel does not change power, but sync first so channel
+    // indices never see time before their creation.
+    sync();
+    channels_.push_back(Channel{std::move(name), {}, 0.0, {}});
+    return static_cast<ChannelId>(channels_.size() - 1);
+}
+
+void
+EnergyAccountant::setPowerShares(ChannelId ch,
+                                 std::vector<std::pair<Uid, double>> sharesMw)
+{
+    assert(ch < channels_.size());
+    sync();
+    channels_[ch].sharesMw = std::move(sharesMw);
+}
+
+void
+EnergyAccountant::setPower(ChannelId ch, double totalMw,
+                           const std::vector<Uid> &owners)
+{
+    std::vector<std::pair<Uid, double>> shares;
+    if (totalMw > 0.0) {
+        if (owners.empty()) {
+            shares.emplace_back(kSystemUid, totalMw);
+        } else {
+            double each = totalMw / static_cast<double>(owners.size());
+            for (Uid u : owners) shares.emplace_back(u, each);
+        }
+    }
+    setPowerShares(ch, std::move(shares));
+}
+
+void
+EnergyAccountant::integrate(Channel &ch, double dtSeconds)
+{
+    for (const auto &[uid, mw] : ch.sharesMw) {
+        double mj = mw * dtSeconds;
+        ch.energyMj += mj;
+        ch.uidEnergyMj[uid] += mj;
+        totalMj_ += mj;
+        uidMj_[uid] += mj;
+    }
+}
+
+void
+EnergyAccountant::sync()
+{
+    sim::Time now = sim_.now();
+    if (now <= lastSync_) {
+        lastSync_ = now;
+        return;
+    }
+    double dt = (now - lastSync_).seconds();
+    for (auto &ch : channels_) integrate(ch, dt);
+    lastSync_ = now;
+}
+
+double
+EnergyAccountant::totalEnergyMj()
+{
+    sync();
+    return totalMj_;
+}
+
+double
+EnergyAccountant::uidEnergyMj(Uid uid)
+{
+    sync();
+    auto it = uidMj_.find(uid);
+    return it == uidMj_.end() ? 0.0 : it->second;
+}
+
+double
+EnergyAccountant::channelEnergyMj(ChannelId ch)
+{
+    assert(ch < channels_.size());
+    sync();
+    return channels_[ch].energyMj;
+}
+
+double
+EnergyAccountant::uidChannelEnergyMj(Uid uid, ChannelId ch)
+{
+    assert(ch < channels_.size());
+    sync();
+    auto it = channels_[ch].uidEnergyMj.find(uid);
+    return it == channels_[ch].uidEnergyMj.end() ? 0.0 : it->second;
+}
+
+double
+EnergyAccountant::totalPowerMw() const
+{
+    double mw = 0.0;
+    for (const auto &ch : channels_)
+        for (const auto &[uid, w] : ch.sharesMw) mw += w;
+    return mw;
+}
+
+double
+EnergyAccountant::uidPowerMw(Uid uid) const
+{
+    double mw = 0.0;
+    for (const auto &ch : channels_)
+        for (const auto &[u, w] : ch.sharesMw)
+            if (u == uid) mw += w;
+    return mw;
+}
+
+const std::string &
+EnergyAccountant::channelName(ChannelId ch) const
+{
+    assert(ch < channels_.size());
+    return channels_[ch].name;
+}
+
+ChannelId
+EnergyAccountant::channelByName(const std::string &name) const
+{
+    for (ChannelId ch = 0; ch < channels_.size(); ++ch)
+        if (channels_[ch].name == name) return ch;
+    return static_cast<ChannelId>(channels_.size());
+}
+
+std::vector<Uid>
+EnergyAccountant::knownUids() const
+{
+    std::vector<Uid> uids;
+    for (const auto &[uid, mj] : uidMj_) uids.push_back(uid);
+    return uids;
+}
+
+} // namespace leaseos::power

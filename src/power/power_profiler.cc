@@ -1,0 +1,71 @@
+#include "power/power_profiler.h"
+
+#include <stdexcept>
+
+namespace leaseos::power {
+
+PowerProfiler::PowerProfiler(sim::Simulator &sim,
+                             EnergyAccountant &accountant, sim::Time period)
+    : sim_(sim), accountant_(accountant), period_(period),
+      total_("total_mw")
+{
+}
+
+void
+PowerProfiler::watchUid(Uid uid)
+{
+    perUid_.emplace(uid,
+                    sim::TimeSeries("uid" + std::to_string(uid) + "_mw"));
+}
+
+void
+PowerProfiler::start()
+{
+    if (running_) return;
+    running_ = true;
+    lastTotalMj_ = accountant_.totalEnergyMj();
+    for (auto &[uid, series] : perUid_)
+        lastUidMj_[uid] = accountant_.uidEnergyMj(uid);
+    sim_.schedulePeriodic(period_, [this] {
+        if (!running_) return false;
+        sample();
+        return true;
+    });
+}
+
+void
+PowerProfiler::sample()
+{
+    double dt = period_.seconds();
+    double total = accountant_.totalEnergyMj();
+    total_.record(sim_.now(), (total - lastTotalMj_) / dt);
+    lastTotalMj_ = total;
+    for (auto &[uid, series] : perUid_) {
+        double mj = accountant_.uidEnergyMj(uid);
+        series.record(sim_.now(), (mj - lastUidMj_[uid]) / dt);
+        lastUidMj_[uid] = mj;
+    }
+}
+
+const sim::TimeSeries &
+PowerProfiler::uidSeries(Uid uid) const
+{
+    auto it = perUid_.find(uid);
+    if (it == perUid_.end())
+        throw std::out_of_range("uid not watched: " + std::to_string(uid));
+    return it->second;
+}
+
+double
+PowerProfiler::averageUidPowerMw(Uid uid) const
+{
+    return uidSeries(uid).mean();
+}
+
+double
+PowerProfiler::averageTotalPowerMw() const
+{
+    return total_.mean();
+}
+
+} // namespace leaseos::power

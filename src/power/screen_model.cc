@@ -1,0 +1,5 @@
+#include "power/screen_model.h"
+
+// ScreenModel is header-only; this TU anchors the module in the build.
+namespace leaseos::power {
+} // namespace leaseos::power

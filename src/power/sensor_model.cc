@@ -1,0 +1,85 @@
+#include "power/sensor_model.h"
+
+namespace leaseos::power {
+
+const char *
+sensorTypeName(SensorType t)
+{
+    switch (t) {
+      case SensorType::Accelerometer: return "accelerometer";
+      case SensorType::Orientation: return "orientation";
+      case SensorType::Gyroscope: return "gyroscope";
+      case SensorType::Light: return "light";
+    }
+    return "unknown";
+}
+
+SensorModel::SensorModel(sim::Simulator &sim, EnergyAccountant &accountant,
+                         const DeviceProfile &profile)
+    : PowerComponent(sim, accountant, profile, "sensors"),
+      channel_(accountant.makeChannel("sensors"))
+{
+    updatePower();
+}
+
+double
+SensorModel::sensorMw(SensorType type) const
+{
+    switch (type) {
+      case SensorType::Accelerometer: return profile_.accelerometerMw;
+      case SensorType::Orientation: return profile_.orientationMw;
+      case SensorType::Gyroscope: return profile_.gyroscopeMw;
+      case SensorType::Light: return profile_.lightMw;
+    }
+    return 0.0;
+}
+
+void
+SensorModel::updatePower()
+{
+    std::map<Uid, double> merged;
+    for (const auto &[type, users] : uses_) {
+        if (users.empty()) continue;
+        double each = sensorMw(type) / static_cast<double>(users.size());
+        for (const auto &[uid, count] : users) merged[uid] += each;
+    }
+    std::vector<std::pair<Uid, double>> shares(merged.begin(), merged.end());
+    accountant_.setPowerShares(channel_, std::move(shares));
+}
+
+void
+SensorModel::registerUse(SensorType type, Uid uid)
+{
+    ++uses_[type][uid];
+    updatePower();
+}
+
+void
+SensorModel::unregisterUse(SensorType type, Uid uid)
+{
+    auto tit = uses_.find(type);
+    if (tit == uses_.end()) return;
+    auto uit = tit->second.find(uid);
+    if (uit == tit->second.end()) return;
+    if (--uit->second <= 0) tit->second.erase(uit);
+    updatePower();
+}
+
+bool
+SensorModel::active(SensorType type) const
+{
+    auto it = uses_.find(type);
+    return it != uses_.end() && !it->second.empty();
+}
+
+std::vector<Uid>
+SensorModel::users(SensorType type) const
+{
+    std::vector<Uid> uids;
+    auto it = uses_.find(type);
+    if (it != uses_.end())
+        for (const auto &[uid, count] : it->second) uids.push_back(uid);
+    return uids;
+}
+
+} // namespace leaseos::power

@@ -1,0 +1,56 @@
+#ifndef LEASEOS_POWER_SENSOR_MODEL_H
+#define LEASEOS_POWER_SENSOR_MODEL_H
+
+/**
+ * @file
+ * Sensor hub power model.
+ *
+ * Sensors draw power while any listener is registered (the TapAndTurn #28
+ * bug: "polls sensors even when screen is off"). Each sensor type's draw is
+ * split across its registered uids.
+ */
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "power/component.h"
+
+namespace leaseos::power {
+
+/** Sensor types the simulator models. */
+enum class SensorType { Accelerometer, Orientation, Gyroscope, Light };
+
+const char *sensorTypeName(SensorType t);
+
+/**
+ * Registration-count-based sensor power model.
+ */
+class SensorModel : public PowerComponent
+{
+  public:
+    SensorModel(sim::Simulator &sim, EnergyAccountant &accountant,
+                const DeviceProfile &profile);
+
+    /** Register one use of @p type by @p uid (counted; may nest). */
+    void registerUse(SensorType type, Uid uid);
+
+    /** Drop one use; no-op if the uid has no outstanding registration. */
+    void unregisterUse(SensorType type, Uid uid);
+
+    bool active(SensorType type) const;
+    std::vector<Uid> users(SensorType type) const;
+
+    /** Power draw of one sensor type from the device profile. */
+    double sensorMw(SensorType type) const;
+
+  private:
+    void updatePower();
+
+    ChannelId channel_;
+    std::map<SensorType, std::map<Uid, int>> uses_;
+};
+
+} // namespace leaseos::power
+
+#endif // LEASEOS_POWER_SENSOR_MODEL_H

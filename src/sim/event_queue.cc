@@ -1,0 +1,55 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace leaseos::sim {
+
+EventId
+EventQueue::schedule(Time when, Callback cb)
+{
+    EventId id = nextId_++;
+    heap_.push(Entry{when, nextSeq_++, id, std::move(cb)});
+    live_.insert(id);
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    // erase() returns 0 for ids that never existed, already fired, or were
+    // already cancelled; the heap entry (if any) becomes a tombstone that
+    // skipDead() discards when it surfaces.
+    return live_.erase(id) != 0;
+}
+
+void
+EventQueue::skipDead()
+{
+    while (!heap_.empty() && live_.count(heap_.top().id) == 0)
+        heap_.pop();
+}
+
+Time
+EventQueue::nextTime()
+{
+    skipDead();
+    assert(!heap_.empty() && "nextTime() on empty queue");
+    return heap_.top().when;
+}
+
+std::pair<Time, EventQueue::Callback>
+EventQueue::pop()
+{
+    skipDead();
+    assert(!heap_.empty() && "pop() on empty queue");
+    // priority_queue::top() returns const&; moving the callback out requires
+    // a const_cast, which is safe because we pop the entry immediately.
+    Entry &top = const_cast<Entry &>(heap_.top());
+    auto result = std::make_pair(top.when, std::move(top.cb));
+    live_.erase(top.id);
+    heap_.pop();
+    return result;
+}
+
+} // namespace leaseos::sim

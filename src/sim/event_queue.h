@@ -1,0 +1,103 @@
+#ifndef LEASEOS_SIM_EVENT_QUEUE_H
+#define LEASEOS_SIM_EVENT_QUEUE_H
+
+/**
+ * @file
+ * Priority-ordered event queue for the discrete-event simulator.
+ *
+ * Events are (time, sequence, callback) tuples ordered by time with FIFO
+ * tie-breaking so that same-timestamp events fire in scheduling order,
+ * which keeps runs deterministic. Cancellation is supported lazily: a
+ * cancelled event stays in the heap but is discarded when it reaches the
+ * top.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace leaseos::sim {
+
+/** Opaque handle identifying a scheduled event; 0 is "invalid". */
+using EventId = std::uint64_t;
+
+constexpr EventId kInvalidEventId = 0;
+
+/**
+ * Min-heap of pending simulation events with lazy cancellation.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule a callback to run at absolute time @p when.
+     * @return an id that can be passed to cancel().
+     */
+    EventId schedule(Time when, Callback cb);
+
+    /**
+     * Cancel a pending event.
+     * @retval true if the event existed and was still pending.
+     */
+    bool cancel(EventId id);
+
+    /** @return true if @p id is scheduled and not yet fired or cancelled. */
+    bool pending(EventId id) const { return live_.count(id) != 0; }
+
+    /** @return true if there is no live pending event. */
+    bool empty() const { return live_.empty(); }
+
+    /** Number of live (non-cancelled) pending events. */
+    std::size_t size() const { return live_.size(); }
+
+    /** Timestamp of the earliest live event. Requires !empty(). */
+    Time nextTime();
+
+    /**
+     * Remove and return the earliest live event.
+     * Requires !empty().
+     */
+    std::pair<Time, Callback> pop();
+
+    /** Total number of events ever scheduled (for stats/debug). */
+    std::uint64_t scheduledCount() const { return nextSeq_; }
+
+  private:
+    struct Entry {
+        Time when;
+        std::uint64_t seq;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when) return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Drop cancelled entries from the top of the heap. */
+    void skipDead();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> live_;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+};
+
+} // namespace leaseos::sim
+
+#endif // LEASEOS_SIM_EVENT_QUEUE_H

@@ -1,0 +1,25 @@
+#include "sim/logging.h"
+
+#include <iomanip>
+
+namespace leaseos::sim {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel level, Time now, const std::string &tag,
+            const std::string &message)
+{
+    static const char *names[] = {"off", "E", "W", "I", "D", "T"};
+    auto idx = static_cast<std::size_t>(level);
+    std::cerr << "[" << std::fixed << std::setprecision(3) << now.seconds()
+              << "s][" << names[idx] << "][" << tag << "] " << message
+              << "\n";
+}
+
+} // namespace leaseos::sim

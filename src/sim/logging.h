@@ -1,0 +1,76 @@
+#ifndef LEASEOS_SIM_LOGGING_H
+#define LEASEOS_SIM_LOGGING_H
+
+/**
+ * @file
+ * Minimal levelled logging for the simulator.
+ *
+ * Logging is off by default (benches and tests should be quiet); tests and
+ * debugging sessions can raise the level. The logger is process-global and
+ * intentionally tiny — it exists so subsystem code can leave a trace of
+ * lease decisions and service state changes without printf scatter.
+ */
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sim/time.h"
+
+namespace leaseos::sim {
+
+enum class LogLevel { Off = 0, Error, Warn, Info, Debug, Trace };
+
+/**
+ * Process-global logging configuration and sink.
+ */
+class Logger
+{
+  public:
+    static Logger &instance();
+
+    void setLevel(LogLevel level) { level_ = level; }
+    LogLevel level() const { return level_; }
+    bool enabled(LogLevel level) const { return level <= level_; }
+
+    /** Emit one line. @p tag is the subsystem name. */
+    void log(LogLevel level, Time now, const std::string &tag,
+             const std::string &message);
+
+  private:
+    Logger() = default;
+
+    LogLevel level_ = LogLevel::Off;
+};
+
+/** Stream-style log helper: LOG(sim, Info, "lease") << "created " << id; */
+class LogLine
+{
+  public:
+    LogLine(LogLevel level, Time now, std::string tag)
+        : level_(level), now_(now), tag_(std::move(tag)) {}
+
+    ~LogLine()
+    {
+        if (Logger::instance().enabled(level_))
+            Logger::instance().log(level_, now_, tag_, os_.str());
+    }
+
+    template <typename T>
+    LogLine &
+    operator<<(const T &v)
+    {
+        if (Logger::instance().enabled(level_)) os_ << v;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    Time now_;
+    std::string tag_;
+    std::ostringstream os_;
+};
+
+} // namespace leaseos::sim
+
+#endif // LEASEOS_SIM_LOGGING_H

@@ -1,0 +1,6 @@
+#include "sim/random.h"
+
+// RandomSource is header-only today; this translation unit anchors the
+// module so the build exposes a stable place for future out-of-line code.
+namespace leaseos::sim {
+} // namespace leaseos::sim

@@ -1,0 +1,53 @@
+#include "sim/simulator.h"
+
+#include <memory>
+#include <utility>
+
+namespace leaseos::sim {
+
+EventId
+Simulator::schedulePeriodic(Time period, std::function<bool()> cb)
+{
+    // The repeating closure owns the user callback and re-schedules itself
+    // while the callback keeps returning true.
+    struct Repeater : std::enable_shared_from_this<Repeater> {
+        Simulator *sim;
+        Time period;
+        std::function<bool()> cb;
+
+        void
+        fire()
+        {
+            if (!cb()) return;
+            auto self = shared_from_this();
+            sim->schedule(period, [self] { self->fire(); });
+        }
+    };
+    auto rep = std::make_shared<Repeater>();
+    rep->sim = this;
+    rep->period = period;
+    rep->cb = std::move(cb);
+    return schedule(period, [rep] { rep->fire(); });
+}
+
+Time
+Simulator::run(Time until)
+{
+    while (!queue_.empty()) {
+        Time t = queue_.nextTime();
+        if (t > until) {
+            now_ = until;
+            return now_;
+        }
+        auto [when, cb] = queue_.pop();
+        now_ = when;
+        ++executed_;
+        cb();
+    }
+    // Queue drained: clamp to the requested horizon if it is finite so that
+    // back-to-back runFor() calls keep advancing wall-clock style.
+    if (until != Time::max() && until > now_) now_ = until;
+    return now_;
+}
+
+} // namespace leaseos::sim

@@ -1,0 +1,90 @@
+#ifndef LEASEOS_SIM_SIMULATOR_H
+#define LEASEOS_SIM_SIMULATOR_H
+
+/**
+ * @file
+ * The discrete-event simulator driving a simulated device.
+ *
+ * Every simulated subsystem (power model, OS services, apps, environments,
+ * the lease manager) schedules work through one Simulator instance. Virtual
+ * time only advances when the event at the head of the queue fires, so a
+ * 30-minute experiment completes in milliseconds of wall time while
+ * preserving exact timing relationships.
+ */
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace leaseos::sim {
+
+/**
+ * Discrete-event simulation engine.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current virtual time. */
+    Time now() const { return now_; }
+
+    /** Schedule @p cb to run @p delay after the current time. */
+    EventId
+    schedule(Time delay, EventQueue::Callback cb)
+    {
+        return queue_.schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Schedule @p cb at an absolute virtual timestamp. */
+    EventId
+    scheduleAt(Time when, EventQueue::Callback cb)
+    {
+        return queue_.schedule(when < now_ ? now_ : when, std::move(cb));
+    }
+
+    /**
+     * Schedule a repeating callback with fixed period. The callback may
+     * return false to stop the repetition.
+     *
+     * The returned id cancels only the *currently pending* occurrence; use
+     * the bool return from the callback for cooperative shutdown, or keep
+     * a PeriodicHandle.
+     */
+    EventId schedulePeriodic(Time period, std::function<bool()> cb);
+
+    /** Cancel a pending event. @retval true if it was still pending. */
+    bool cancel(EventId id) { return queue_.cancel(id); }
+
+    /** @return true if @p id has not yet fired or been cancelled. */
+    bool pending(EventId id) const { return queue_.pending(id); }
+
+    /**
+     * Run until the event queue drains or virtual time reaches @p until.
+     * Events at exactly @p until still fire.
+     * @return the virtual time at which the run stopped.
+     */
+    Time run(Time until = Time::max());
+
+    /** Run for a span of virtual time from now. */
+    Time runFor(Time span) { return run(now_ + span); }
+
+    /** Pending live events (diagnostics). */
+    std::size_t pendingEvents() const { return queue_.size(); }
+
+    /** Total events executed so far. */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    EventQueue queue_;
+    Time now_;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace leaseos::sim
+
+#endif // LEASEOS_SIM_SIMULATOR_H

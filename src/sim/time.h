@@ -1,0 +1,139 @@
+#ifndef LEASEOS_SIM_TIME_H
+#define LEASEOS_SIM_TIME_H
+
+/**
+ * @file
+ * Strongly-typed simulated time.
+ *
+ * All of LeaseOS's simulated substrate works in virtual time measured in
+ * signed 64-bit nanoseconds. Wrapping the tick count in a value type keeps
+ * second/millisecond conversions explicit and prevents unit mix-ups between
+ * e.g. lease terms (seconds) and IPC latencies (microseconds).
+ */
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace leaseos::sim {
+
+/**
+ * A point in (or span of) simulated time, in nanoseconds.
+ *
+ * Time is used both as an absolute timestamp (ns since simulation start)
+ * and as a duration; the arithmetic operators support both uses the same
+ * way std::chrono durations do.
+ */
+class Time
+{
+  public:
+    constexpr Time() : ns_(0) {}
+
+    /** Construct from a raw nanosecond tick count. */
+    static constexpr Time fromNanos(std::int64_t ns) { return Time(ns); }
+    static constexpr Time fromMicros(std::int64_t us)
+    {
+        return Time(us * 1000);
+    }
+    static constexpr Time fromMillis(std::int64_t ms)
+    {
+        return Time(ms * 1000000);
+    }
+    static constexpr Time fromSeconds(double s)
+    {
+        return Time(static_cast<std::int64_t>(s * 1e9));
+    }
+    static constexpr Time fromMinutes(double m)
+    {
+        return fromSeconds(m * 60.0);
+    }
+    static constexpr Time fromHours(double h) { return fromSeconds(h * 3600.0); }
+
+    /** Largest representable time; used as "never". */
+    static constexpr Time
+    max()
+    {
+        return Time(std::numeric_limits<std::int64_t>::max());
+    }
+    static constexpr Time zero() { return Time(0); }
+
+    constexpr std::int64_t nanos() const { return ns_; }
+    constexpr std::int64_t micros() const { return ns_ / 1000; }
+    constexpr std::int64_t millis() const { return ns_ / 1000000; }
+    constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+    constexpr double minutes() const { return seconds() / 60.0; }
+    constexpr double hours() const { return seconds() / 3600.0; }
+
+    constexpr bool isZero() const { return ns_ == 0; }
+    constexpr bool isNegative() const { return ns_ < 0; }
+
+    constexpr Time operator+(Time o) const { return Time(ns_ + o.ns_); }
+    constexpr Time operator-(Time o) const { return Time(ns_ - o.ns_); }
+    constexpr Time operator*(double k) const
+    {
+        return Time(static_cast<std::int64_t>(static_cast<double>(ns_) * k));
+    }
+    constexpr Time operator/(double k) const
+    {
+        return Time(static_cast<std::int64_t>(static_cast<double>(ns_) / k));
+    }
+    /** Ratio of two durations; the natural way to express utilisation. */
+    constexpr double
+    operator/(Time o) const
+    {
+        return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+    }
+
+    Time &operator+=(Time o) { ns_ += o.ns_; return *this; }
+    Time &operator-=(Time o) { ns_ -= o.ns_; return *this; }
+
+    constexpr auto operator<=>(const Time &) const = default;
+
+    /** Render as a short human-readable string, e.g. "5s" or "2.5min". */
+    std::string
+    toString() const
+    {
+        auto trim = [](double v) {
+            std::string s = std::to_string(v);
+            while (!s.empty() && s.back() == '0') s.pop_back();
+            if (!s.empty() && s.back() == '.') s.pop_back();
+            return s;
+        };
+        double s = seconds();
+        if (s >= 3600.0) return trim(s / 3600.0) + "h";
+        if (s >= 60.0) return trim(s / 60.0) + "min";
+        if (s >= 1.0) return trim(s) + "s";
+        return trim(static_cast<double>(ns_) / 1e6) + "ms";
+    }
+
+  private:
+    explicit constexpr Time(std::int64_t ns) : ns_(ns) {}
+
+    std::int64_t ns_;
+};
+
+/// Convenience duration literals used throughout the codebase.
+constexpr Time operator""_ns(unsigned long long v)
+{
+    return Time::fromNanos(static_cast<std::int64_t>(v));
+}
+constexpr Time operator""_us(unsigned long long v)
+{
+    return Time::fromMicros(static_cast<std::int64_t>(v));
+}
+constexpr Time operator""_ms(unsigned long long v)
+{
+    return Time::fromMillis(static_cast<std::int64_t>(v));
+}
+constexpr Time operator""_s(unsigned long long v)
+{
+    return Time::fromSeconds(static_cast<double>(v));
+}
+constexpr Time operator""_min(unsigned long long v)
+{
+    return Time::fromMinutes(static_cast<double>(v));
+}
+
+} // namespace leaseos::sim
+
+#endif // LEASEOS_SIM_TIME_H

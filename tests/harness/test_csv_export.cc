@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the CSV export helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harness/csv_export.h"
+
+namespace leaseos::harness {
+namespace {
+
+using sim::operator""_s;
+
+struct CsvExportTest : ::testing::Test {
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "leaseos_csv_test";
+
+    void
+    SetUp() override
+    {
+        std::filesystem::create_directories(dir);
+        setenv("LEASEOS_OUT", dir.c_str(), 1);
+    }
+
+    void
+    TearDown() override
+    {
+        unsetenv("LEASEOS_OUT");
+        std::filesystem::remove_all(dir);
+    }
+
+    std::string
+    slurp(const std::string &name)
+    {
+        std::ifstream in(dir / (name + ".csv"));
+        std::ostringstream os;
+        os << in.rdbuf();
+        return os.str();
+    }
+};
+
+TEST_F(CsvExportTest, DisabledWithoutEnvVar)
+{
+    unsetenv("LEASEOS_OUT");
+    sim::TimeSeries s("x");
+    s.record(1_s, 2.0);
+    EXPECT_FALSE(maybeWriteCsv("nope", s));
+    EXPECT_TRUE(csvOutputDir().empty());
+}
+
+TEST_F(CsvExportTest, WritesSingleSeries)
+{
+    sim::TimeSeries s("power_mw");
+    s.record(1_s, 2.5);
+    s.record(2_s, 3.5);
+    ASSERT_TRUE(maybeWriteCsv("single", s));
+    std::string text = slurp("single");
+    EXPECT_NE(text.find("time_s,power_mw"), std::string::npos);
+    EXPECT_NE(text.find("1,2.5"), std::string::npos);
+    EXPECT_NE(text.find("2,3.5"), std::string::npos);
+}
+
+TEST_F(CsvExportTest, AlignsMultipleSeries)
+{
+    sim::TimeSeries a("a");
+    sim::TimeSeries b("b");
+    a.record(1_s, 1.0);
+    b.record(1_s, 10.0);
+    b.record(2_s, 20.0);
+    ASSERT_TRUE(maybeWriteCsv("multi", {&a, &b}));
+    std::string text = slurp("multi");
+    EXPECT_NE(text.find("time_s,a,b"), std::string::npos);
+    // The t=2 row has an empty cell for series a.
+    EXPECT_NE(text.find("2,,20"), std::string::npos);
+}
+
+} // namespace
+} // namespace leaseos::harness

@@ -1,0 +1,48 @@
+#ifndef LEASEOS_TESTS_LEASE_FIXTURE_H
+#define LEASEOS_TESTS_LEASE_FIXTURE_H
+
+/**
+ * @file
+ * Shared fixture: full device substrate + LeaseOS runtime.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lease/leaseos_runtime.h"
+#include "os/system_server.h"
+
+namespace leaseos::lease::testing {
+
+struct LeaseFixtureBase : ::testing::Test {
+    sim::Simulator sim;
+    power::DeviceProfile profile = power::profiles::pixelXl();
+    power::EnergyAccountant acc{sim};
+    power::CpuModel cpu{sim, acc, profile};
+    power::ScreenModel screen{sim, acc, profile};
+    power::GpsModel gps{sim, acc, profile};
+    power::RadioModel radio{sim, acc, profile};
+    power::SensorModel sensors{sim, acc, profile};
+    power::AudioModel audio{sim, acc, profile};
+    power::BluetoothModel bluetooth{sim, acc, profile};
+    os::SystemServer server{sim,     cpu,   screen,    gps, radio,
+                            sensors, audio, bluetooth, acc};
+
+    static constexpr Uid kApp = kFirstAppUid;
+    static constexpr Uid kApp2 = kFirstAppUid + 1;
+
+    static LeasePolicy
+    defaultPolicy()
+    {
+        return LeasePolicy{};
+    }
+};
+
+/** Fixture with the LeaseOS runtime installed under the default policy. */
+struct LeaseFixture : LeaseFixtureBase {
+    LeaseOsRuntime leaseos{sim, cpu, radio, server, defaultPolicy()};
+    LeaseManagerService &mgr = leaseos.manager();
+};
+
+} // namespace leaseos::lease::testing
+
+#endif // LEASEOS_TESTS_LEASE_FIXTURE_H

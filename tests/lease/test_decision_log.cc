@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests that the lease manager emits a decision trace when logging is
+ * enabled (and stays silent by default).
+ */
+
+#include "lease_fixture.h"
+
+#include "sim/logging.h"
+
+#include <sstream>
+
+namespace leaseos::lease {
+namespace {
+
+using sim::operator""_s;
+
+struct DecisionLogTest : testing::LeaseFixture {
+    std::ostringstream captured;
+    std::streambuf *old_cerr = nullptr;
+
+    void
+    SetUp() override
+    {
+        old_cerr = std::cerr.rdbuf(captured.rdbuf());
+    }
+
+    void
+    TearDown() override
+    {
+        std::cerr.rdbuf(old_cerr);
+        sim::Logger::instance().setLevel(sim::LogLevel::Off);
+    }
+};
+
+TEST_F(DecisionLogTest, SilentByDefault)
+{
+    auto &pms = server.powerManager();
+    os::TokenId t = pms.newWakeLock(kApp, os::WakeLockType::Partial, "x");
+    pms.acquire(t);
+    sim.runFor(10_s);
+    EXPECT_TRUE(captured.str().empty());
+}
+
+TEST_F(DecisionLogTest, TracesClassificationAndDeferral)
+{
+    sim::Logger::instance().setLevel(sim::LogLevel::Info);
+    auto &pms = server.powerManager();
+    os::TokenId t = pms.newWakeLock(kApp, os::WakeLockType::Partial, "x");
+    pms.acquire(t);
+    sim.runFor(40_s); // classify, defer, restore
+    std::string log = captured.str();
+    EXPECT_NE(log.find("LHB"), std::string::npos);
+    EXPECT_NE(log.find("DEFERRED"), std::string::npos);
+    EXPECT_NE(log.find("restored to ACTIVE"), std::string::npos);
+    EXPECT_NE(log.find("[lease]"), std::string::npos);
+}
+
+} // namespace
+} // namespace leaseos::lease

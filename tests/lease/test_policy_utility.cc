@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for LeasePolicy (terms, deferral escalation, the §5.1 r = 1/(1+λ)
+ * model) and the generic/custom utility scoring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/utility_counter.h"
+#include "lease/lease_policy.h"
+#include "lease/utility/generic_utility.h"
+
+namespace leaseos::lease {
+namespace {
+
+using sim::operator""_s;
+
+TEST(LeasePolicyTest, DefaultsMatchPaper)
+{
+    LeasePolicy p;
+    EXPECT_EQ(p.initialTerm, 5_s);
+    EXPECT_EQ(p.deferralInterval, 25_s);
+    EXPECT_TRUE(p.adaptiveTerm);
+}
+
+TEST(LeasePolicyTest, AdaptiveTermGrowth)
+{
+    LeasePolicy p;
+    EXPECT_EQ(p.termFor(0), p.initialTerm);
+    EXPECT_EQ(p.termFor(11), p.initialTerm);
+    EXPECT_EQ(p.termFor(12), p.mediumTerm);   // §5.2: 12 normal → 1 min
+    EXPECT_EQ(p.termFor(119), p.mediumTerm);
+    EXPECT_EQ(p.termFor(120), p.longTerm);    // 120 normal → 5 min
+}
+
+TEST(LeasePolicyTest, AdaptiveTermDisabled)
+{
+    LeasePolicy p;
+    p.adaptiveTerm = false;
+    EXPECT_EQ(p.termFor(1000), p.initialTerm);
+}
+
+TEST(LeasePolicyTest, DeferralEscalatesAndCaps)
+{
+    LeasePolicy p;
+    EXPECT_EQ(p.deferralFor(1), 25_s);
+    EXPECT_EQ(p.deferralFor(2), 50_s);
+    EXPECT_EQ(p.deferralFor(3), 100_s);
+    EXPECT_EQ(p.deferralFor(4), 200_s);
+    EXPECT_EQ(p.deferralFor(5), p.maxDeferral);
+    EXPECT_EQ(p.deferralFor(50), p.maxDeferral);
+}
+
+TEST(LeasePolicyTest, EscalationDisabled)
+{
+    LeasePolicy p;
+    p.escalateDeferral = false;
+    EXPECT_EQ(p.deferralFor(10), p.deferralInterval);
+}
+
+TEST(LeasePolicyTest, HoldingRatioFormula)
+{
+    // §5.1: r = H/T = 1/(1+λ) with λ = τ/(n·t). With the default policy
+    // (t = 5 s, τ = 25 s, n = 1) λ = 5 so a persistent misbehaver holds
+    // the resource at most 1/6 of the time per cycle.
+    LeasePolicy p;
+    double t = p.initialTerm.seconds();
+    double tau = p.deferralFor(1).seconds();
+    double lambda = tau / t;
+    EXPECT_DOUBLE_EQ(lambda, 5.0);
+    EXPECT_NEAR(1.0 / (1.0 + lambda), t / (t + tau), 1e-12);
+}
+
+// ---- Generic utility ---------------------------------------------------
+
+TEST(GenericUtilityTest, InteractionsScoreHigh)
+{
+    utility::Signals s;
+    s.termSeconds = 5.0;
+    s.interactions = 2;
+    EXPECT_GE(utility::genericScore(ResourceType::Wakelock, s), 85.0);
+    EXPECT_GE(utility::genericScore(ResourceType::Screen, s), 85.0);
+    EXPECT_GE(utility::genericScore(ResourceType::Sensor, s), 85.0);
+}
+
+TEST(GenericUtilityTest, ExceptionStormScoresVeryLow)
+{
+    utility::Signals s;
+    s.termSeconds = 5.0;
+    s.usageSeconds = 5.0;
+    s.exceptions = 10; // 2 severe exceptions per CPU-second
+    EXPECT_LT(utility::genericScore(ResourceType::Wakelock, s),
+              utility::kVeryLowBar);
+}
+
+TEST(GenericUtilityTest, CleanBackgroundWorkPresumedUseful)
+{
+    utility::Signals s;
+    s.termSeconds = 5.0;
+    s.usageSeconds = 2.0;
+    EXPECT_GE(utility::genericScore(ResourceType::Wakelock, s), 50.0);
+}
+
+TEST(GenericUtilityTest, GpsMovementScores)
+{
+    utility::Signals moving;
+    moving.termSeconds = 5.0;
+    moving.distanceMeters = 7.0; // walking pace
+    EXPECT_GT(utility::genericScore(ResourceType::Gps, moving), 50.0);
+
+    utility::Signals still;
+    still.termSeconds = 5.0;
+    still.distanceMeters = 0.0;
+    EXPECT_LT(utility::genericScore(ResourceType::Gps, still), 20.0);
+}
+
+TEST(GenericUtilityTest, SensorWithoutUiEvidenceIsLow)
+{
+    utility::Signals s;
+    s.termSeconds = 5.0;
+    EXPECT_LT(utility::genericScore(ResourceType::Sensor, s), 20.0);
+    s.uiUpdates = 3;
+    EXPECT_GE(utility::genericScore(ResourceType::Sensor, s), 70.0);
+}
+
+TEST(GenericUtilityTest, AudioIsItsOwnEvidence)
+{
+    utility::Signals s;
+    s.termSeconds = 5.0;
+    EXPECT_GE(utility::genericScore(ResourceType::Audio, s), 75.0);
+}
+
+// ---- Custom utility combine -----------------------------------------------
+
+struct FixedCounter : IUtilityCounter {
+    double score;
+    explicit FixedCounter(double s) : score(s) {}
+    double getScore() override { return score; }
+};
+
+TEST(CombineTest, NoCounterKeepsGeneric)
+{
+    EXPECT_DOUBLE_EQ(utility::combine(42.0, nullptr), 42.0);
+}
+
+TEST(CombineTest, CounterOverridesWhenGenericNotTooLow)
+{
+    FixedCounter low(10.0);
+    EXPECT_DOUBLE_EQ(utility::combine(75.0, &low), 10.0);
+    FixedCounter high(95.0);
+    EXPECT_DOUBLE_EQ(utility::combine(30.0, &high), 95.0);
+}
+
+TEST(CombineTest, VeryLowGenericCannotBeOverridden)
+{
+    // Abuse guard (§3.3): an app cannot claim high utility for a term the
+    // generic heuristics already condemned.
+    FixedCounter cheat(100.0);
+    EXPECT_DOUBLE_EQ(utility::combine(5.0, &cheat), 5.0);
+}
+
+TEST(CombineTest, CustomScoreClamped)
+{
+    FixedCounter wild(1234.0);
+    EXPECT_DOUBLE_EQ(utility::combine(50.0, &wild), 100.0);
+    FixedCounter negative(-5.0);
+    EXPECT_DOUBLE_EQ(utility::combine(50.0, &negative), 0.0);
+}
+
+} // namespace
+} // namespace leaseos::lease

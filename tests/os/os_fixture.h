@@ -1,0 +1,36 @@
+#ifndef LEASEOS_TESTS_OS_FIXTURE_H
+#define LEASEOS_TESTS_OS_FIXTURE_H
+
+/**
+ * @file
+ * Shared fixture assembling hardware models + SystemServer for OS tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/system_server.h"
+#include "power/battery.h"
+
+namespace leaseos::os::testing {
+
+struct OsFixture : ::testing::Test {
+    sim::Simulator sim;
+    power::DeviceProfile profile = power::profiles::pixelXl();
+    power::EnergyAccountant acc{sim};
+    power::CpuModel cpu{sim, acc, profile};
+    power::ScreenModel screen{sim, acc, profile};
+    power::GpsModel gps{sim, acc, profile};
+    power::RadioModel radio{sim, acc, profile};
+    power::SensorModel sensors{sim, acc, profile};
+    power::AudioModel audio{sim, acc, profile};
+    power::BluetoothModel bluetooth{sim, acc, profile};
+    SystemServer server{sim,     cpu,   screen, gps,       radio,
+                        sensors, audio, bluetooth, acc};
+
+    static constexpr Uid kApp = kFirstAppUid;
+    static constexpr Uid kApp2 = kFirstAppUid + 1;
+};
+
+} // namespace leaseos::os::testing
+
+#endif // LEASEOS_TESTS_OS_FIXTURE_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for Battery and PowerProfiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/battery.h"
+#include "power/power_profiler.h"
+
+namespace leaseos::power {
+namespace {
+
+using sim::operator""_s;
+using sim::operator""_ms;
+
+constexpr Uid kApp = kFirstAppUid;
+
+TEST(BatteryTest, DrainsWithAccountant)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    DeviceProfile p = profiles::pixelXl();
+    Battery battery(acc, p);
+    ChannelId ch = acc.makeChannel("x");
+    acc.setPower(ch, 1000.0, {kApp});
+    sim.runFor(10_s);
+    EXPECT_DOUBLE_EQ(battery.drainedMj(), 10000.0);
+    EXPECT_LT(battery.remainingFraction(), 1.0);
+    EXPECT_FALSE(battery.empty());
+}
+
+TEST(BatteryTest, ProjectedLifeMatchesDraw)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    DeviceProfile p = profiles::pixelXl();
+    Battery battery(acc, p);
+    ChannelId ch = acc.makeChannel("x");
+    acc.setPower(ch, 1000.0, {kApp});
+    sim::Time life = battery.projectedLife();
+    EXPECT_NEAR(life.seconds(), p.batteryEnergyMj() / 1000.0, 1.0);
+}
+
+TEST(BatteryTest, ProjectedLifeInfiniteAtZeroDraw)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    Battery battery(acc, profiles::pixelXl());
+    EXPECT_EQ(battery.projectedLife(), sim::Time::max());
+}
+
+TEST(BatteryTest, RechargeResetsBaseline)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    Battery battery(acc, profiles::pixelXl());
+    ChannelId ch = acc.makeChannel("x");
+    acc.setPower(ch, 500.0, {kApp});
+    sim.runFor(10_s);
+    battery.recharge();
+    EXPECT_DOUBLE_EQ(battery.drainedMj(), 0.0);
+}
+
+TEST(PowerProfilerTest, SamplesAveragePower)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    PowerProfiler profiler(sim, acc, 100_ms);
+    profiler.watchUid(kApp);
+    ChannelId ch = acc.makeChannel("x");
+    acc.setPower(ch, 200.0, {kApp});
+    profiler.start();
+    sim.runFor(10_s);
+    EXPECT_NEAR(profiler.averageUidPowerMw(kApp), 200.0, 1e-6);
+    EXPECT_NEAR(profiler.averageTotalPowerMw(), 200.0, 1e-6);
+    EXPECT_EQ(profiler.totalSeries().size(), 100u);
+}
+
+TEST(PowerProfilerTest, CapturesPowerChanges)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    PowerProfiler profiler(sim, acc, 1_s);
+    profiler.watchUid(kApp);
+    ChannelId ch = acc.makeChannel("x");
+    profiler.start();
+    acc.setPower(ch, 100.0, {kApp});
+    sim.runFor(5_s);
+    acc.setPower(ch, 0.0, {kApp});
+    sim.runFor(5_s);
+    EXPECT_NEAR(profiler.averageUidPowerMw(kApp), 50.0, 1e-6);
+    const auto &series = profiler.uidSeries(kApp);
+    EXPECT_NEAR(series.points().front().value, 100.0, 1e-6);
+    EXPECT_NEAR(series.points().back().value, 0.0, 1e-6);
+}
+
+TEST(PowerProfilerTest, UnwatchedUidThrows)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    PowerProfiler profiler(sim, acc, 1_s);
+    EXPECT_THROW(profiler.uidSeries(kApp), std::out_of_range);
+}
+
+TEST(PowerProfilerTest, StopHaltsSampling)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    PowerProfiler profiler(sim, acc, 1_s);
+    profiler.start();
+    sim.runFor(3_s);
+    profiler.stop();
+    sim.runFor(3_s);
+    EXPECT_LE(profiler.totalSeries().size(), 4u);
+}
+
+} // namespace
+} // namespace leaseos::power

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the EnergyAccountant's integration and attribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/ids.h"
+#include "power/energy_accountant.h"
+#include "sim/simulator.h"
+
+namespace leaseos::power {
+namespace {
+
+using sim::operator""_s;
+
+constexpr Uid kAppA = kFirstAppUid;
+constexpr Uid kAppB = kFirstAppUid + 1;
+
+TEST(EnergyAccountantTest, IntegratesConstantPower)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    ChannelId ch = acc.makeChannel("cpu");
+    acc.setPower(ch, 100.0, {kAppA});
+    sim.runFor(10_s);
+    EXPECT_DOUBLE_EQ(acc.totalEnergyMj(), 1000.0); // 100 mW * 10 s
+    EXPECT_DOUBLE_EQ(acc.uidEnergyMj(kAppA), 1000.0);
+}
+
+TEST(EnergyAccountantTest, SplitsAcrossOwners)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    ChannelId ch = acc.makeChannel("gps");
+    acc.setPower(ch, 100.0, {kAppA, kAppB});
+    sim.runFor(10_s);
+    EXPECT_DOUBLE_EQ(acc.uidEnergyMj(kAppA), 500.0);
+    EXPECT_DOUBLE_EQ(acc.uidEnergyMj(kAppB), 500.0);
+}
+
+TEST(EnergyAccountantTest, EmptyOwnersGoesToSystem)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    ChannelId ch = acc.makeChannel("misc");
+    acc.setPower(ch, 50.0, {});
+    sim.runFor(2_s);
+    EXPECT_DOUBLE_EQ(acc.uidEnergyMj(kSystemUid), 100.0);
+}
+
+TEST(EnergyAccountantTest, PowerChangeSplitsInterval)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    ChannelId ch = acc.makeChannel("cpu");
+    acc.setPower(ch, 100.0, {kAppA});
+    sim.runFor(5_s);
+    acc.setPower(ch, 10.0, {kAppA});
+    sim.runFor(5_s);
+    EXPECT_DOUBLE_EQ(acc.totalEnergyMj(), 550.0);
+}
+
+TEST(EnergyAccountantTest, AttributionChangeSplitsInterval)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    ChannelId ch = acc.makeChannel("cpu");
+    acc.setPower(ch, 100.0, {kAppA});
+    sim.runFor(4_s);
+    acc.setPower(ch, 100.0, {kAppB});
+    sim.runFor(6_s);
+    EXPECT_DOUBLE_EQ(acc.uidEnergyMj(kAppA), 400.0);
+    EXPECT_DOUBLE_EQ(acc.uidEnergyMj(kAppB), 600.0);
+}
+
+TEST(EnergyAccountantTest, MultipleChannelsSum)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    ChannelId cpu = acc.makeChannel("cpu");
+    ChannelId gps = acc.makeChannel("gps");
+    acc.setPower(cpu, 30.0, {kAppA});
+    acc.setPower(gps, 70.0, {kAppA});
+    sim.runFor(1_s);
+    EXPECT_DOUBLE_EQ(acc.totalEnergyMj(), 100.0);
+    EXPECT_DOUBLE_EQ(acc.channelEnergyMj(cpu), 30.0);
+    EXPECT_DOUBLE_EQ(acc.channelEnergyMj(gps), 70.0);
+    EXPECT_DOUBLE_EQ(acc.uidChannelEnergyMj(kAppA, gps), 70.0);
+}
+
+TEST(EnergyAccountantTest, InstantaneousPower)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    ChannelId ch = acc.makeChannel("cpu");
+    acc.setPowerShares(ch, {{kAppA, 20.0}, {kAppB, 5.0}});
+    EXPECT_DOUBLE_EQ(acc.totalPowerMw(), 25.0);
+    EXPECT_DOUBLE_EQ(acc.uidPowerMw(kAppA), 20.0);
+    EXPECT_DOUBLE_EQ(acc.uidPowerMw(kAppB), 5.0);
+    EXPECT_DOUBLE_EQ(acc.uidPowerMw(kSystemUid), 0.0);
+}
+
+TEST(EnergyAccountantTest, KnownUidsListsContributors)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    ChannelId ch = acc.makeChannel("cpu");
+    acc.setPower(ch, 10.0, {kAppA});
+    sim.runFor(1_s);
+    acc.sync();
+    auto uids = acc.knownUids();
+    EXPECT_EQ(uids.size(), 1u);
+    EXPECT_EQ(uids[0], kAppA);
+}
+
+TEST(EnergyAccountantTest, ChannelNamesStored)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    ChannelId ch = acc.makeChannel("screen");
+    EXPECT_EQ(acc.channelName(ch), "screen");
+    EXPECT_EQ(acc.channelCount(), 1u);
+}
+
+} // namespace
+} // namespace leaseos::power

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for sim::EventQueue ordering, cancellation, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace leaseos::sim {
+namespace {
+
+TEST(EventQueueTest, EmptyInitially)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(3_s, [&] { fired.push_back(3); });
+    q.schedule(1_s, [&] { fired.push_back(1); });
+    q.schedule(2_s, [&] { fired.push_back(2); });
+    while (!q.empty()) q.pop().second();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoTieBreakAtSameTime)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5_s, [&fired, i] { fired.push_back(i); });
+    while (!q.empty()) q.pop().second();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliestLive)
+{
+    EventQueue q;
+    EventId early = q.schedule(1_s, [] {});
+    q.schedule(2_s, [] {});
+    EXPECT_EQ(q.nextTime(), 1_s);
+    q.cancel(early);
+    EXPECT_EQ(q.nextTime(), 2_s);
+}
+
+TEST(EventQueueTest, CancelPendingReturnsTrue)
+{
+    EventQueue q;
+    EventId id = q.schedule(1_s, [] {});
+    EXPECT_TRUE(q.pending(id));
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.pending(id));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse)
+{
+    EventQueue q;
+    EventId id = q.schedule(1_s, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelFiredEventReturnsFalse)
+{
+    EventQueue q;
+    EventId id = q.schedule(1_s, [] {});
+    q.schedule(2_s, [] {});
+    q.pop().second();
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, CancelInvalidIdReturnsFalse)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(kInvalidEventId));
+    EXPECT_FALSE(q.cancel(9999));
+}
+
+TEST(EventQueueTest, CancelledEventNeverFires)
+{
+    EventQueue q;
+    bool fired = false;
+    EventId id = q.schedule(1_s, [&] { fired = true; });
+    q.schedule(2_s, [] {});
+    q.cancel(id);
+    while (!q.empty()) q.pop().second();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, SizeCountsOnlyLiveEvents)
+{
+    EventQueue q;
+    EventId a = q.schedule(1_s, [] {});
+    q.schedule(2_s, [] {});
+    q.schedule(3_s, [] {});
+    EXPECT_EQ(q.size(), 3u);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering)
+{
+    EventQueue q;
+    // Interleave schedule and cancel; verify monotone pop order.
+    std::vector<EventId> ids;
+    for (int i = 0; i < 1000; ++i)
+        ids.push_back(
+            q.schedule(Time::fromMillis(997 * i % 1000), [] {}));
+    for (int i = 0; i < 1000; i += 3) q.cancel(ids[i]);
+    Time last = Time::zero();
+    while (!q.empty()) {
+        Time t = q.nextTime();
+        EXPECT_GE(t, last);
+        last = t;
+        q.pop();
+    }
+}
+
+} // namespace
+} // namespace leaseos::sim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the discrete-event Simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace leaseos::sim {
+namespace {
+
+TEST(SimulatorTest, TimeStartsAtZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), Time::zero());
+}
+
+TEST(SimulatorTest, RunAdvancesToEventTimes)
+{
+    Simulator sim;
+    std::vector<double> times;
+    sim.schedule(2_s, [&] { times.push_back(sim.now().seconds()); });
+    sim.schedule(5_s, [&] { times.push_back(sim.now().seconds()); });
+    sim.run();
+    EXPECT_EQ(times, (std::vector<double>{2.0, 5.0}));
+    EXPECT_EQ(sim.now(), 5_s);
+}
+
+TEST(SimulatorTest, RunUntilStopsBeforeLaterEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1_s, [&] { ++fired; });
+    sim.schedule(10_s, [&] { ++fired; });
+    sim.run(5_s);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 5_s);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventAtExactHorizonFires)
+{
+    Simulator sim;
+    bool fired = false;
+    sim.schedule(5_s, [&] { fired = true; });
+    sim.run(5_s);
+    EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, RunForAdvancesRelative)
+{
+    Simulator sim;
+    sim.runFor(10_s);
+    EXPECT_EQ(sim.now(), 10_s);
+    sim.runFor(5_s);
+    EXPECT_EQ(sim.now(), 15_s);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecute)
+{
+    Simulator sim;
+    int depth = 0;
+    sim.schedule(1_s, [&] {
+        ++depth;
+        sim.schedule(1_s, [&] { ++depth; });
+    });
+    sim.run();
+    EXPECT_EQ(depth, 2);
+    EXPECT_EQ(sim.now(), 2_s);
+}
+
+TEST(SimulatorTest, ScheduleAtClampsPastTimes)
+{
+    Simulator sim;
+    sim.runFor(10_s);
+    Time fired_at;
+    sim.scheduleAt(5_s, [&] { fired_at = sim.now(); });
+    sim.run();
+    EXPECT_EQ(fired_at, 10_s);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution)
+{
+    Simulator sim;
+    bool fired = false;
+    EventId id = sim.schedule(1_s, [&] { fired = true; });
+    EXPECT_TRUE(sim.pending(id));
+    sim.cancel(id);
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, PeriodicRepeatsUntilFalse)
+{
+    Simulator sim;
+    int count = 0;
+    sim.schedulePeriodic(1_s, [&] {
+        ++count;
+        return count < 5;
+    });
+    sim.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(sim.now(), 5_s);
+}
+
+TEST(SimulatorTest, PeriodicHonoursHorizon)
+{
+    Simulator sim;
+    int count = 0;
+    sim.schedulePeriodic(1_s, [&] {
+        ++count;
+        return true;
+    });
+    sim.run(10_s);
+    EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, ExecutedEventsCounted)
+{
+    Simulator sim;
+    for (int i = 0; i < 7; ++i) sim.schedule(1_s, [] {});
+    sim.run();
+    EXPECT_EQ(sim.executedEvents(), 7u);
+}
+
+TEST(SimulatorTest, DrainedRunClampsToHorizon)
+{
+    Simulator sim;
+    sim.schedule(1_s, [] {});
+    Time end = sim.run(30_s);
+    EXPECT_EQ(end, 30_s);
+    EXPECT_EQ(sim.now(), 30_s);
+}
+
+} // namespace
+} // namespace leaseos::sim

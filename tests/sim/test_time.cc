@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for sim::Time.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace leaseos::sim {
+namespace {
+
+TEST(TimeTest, DefaultIsZero)
+{
+    Time t;
+    EXPECT_EQ(t.nanos(), 0);
+    EXPECT_TRUE(t.isZero());
+}
+
+TEST(TimeTest, FactoryConversions)
+{
+    EXPECT_EQ(Time::fromMicros(3).nanos(), 3000);
+    EXPECT_EQ(Time::fromMillis(3).nanos(), 3000000);
+    EXPECT_EQ(Time::fromSeconds(1.5).millis(), 1500);
+    EXPECT_DOUBLE_EQ(Time::fromMinutes(2).seconds(), 120.0);
+    EXPECT_DOUBLE_EQ(Time::fromHours(1).minutes(), 60.0);
+}
+
+TEST(TimeTest, Literals)
+{
+    EXPECT_EQ((5_s).seconds(), 5.0);
+    EXPECT_EQ((30_min).minutes(), 30.0);
+    EXPECT_EQ((100_ms).millis(), 100);
+    EXPECT_EQ((7_us).micros(), 7);
+    EXPECT_EQ((9_ns).nanos(), 9);
+}
+
+TEST(TimeTest, Arithmetic)
+{
+    Time a = 10_s;
+    Time b = 4_s;
+    EXPECT_EQ((a + b).seconds(), 14.0);
+    EXPECT_EQ((a - b).seconds(), 6.0);
+    EXPECT_DOUBLE_EQ((a * 2.5).seconds(), 25.0);
+    EXPECT_DOUBLE_EQ((a / 4.0).seconds(), 2.5);
+    EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(TimeTest, CompoundAssignment)
+{
+    Time t = 1_s;
+    t += 2_s;
+    EXPECT_EQ(t.seconds(), 3.0);
+    t -= 4_s;
+    EXPECT_TRUE(t.isNegative());
+}
+
+TEST(TimeTest, Comparisons)
+{
+    EXPECT_LT(1_s, 2_s);
+    EXPECT_GT(1_min, 59_s);
+    EXPECT_EQ(60_s, 1_min);
+    EXPECT_LE(Time::zero(), Time::zero());
+    EXPECT_LT(Time::zero(), Time::max());
+}
+
+TEST(TimeTest, ToStringPicksUnits)
+{
+    EXPECT_NE((2_s).toString().find("s"), std::string::npos);
+    EXPECT_NE((5_min).toString().find("min"), std::string::npos);
+    EXPECT_NE(Time::fromHours(2).toString().find("h"), std::string::npos);
+    EXPECT_NE((10_ms).toString().find("ms"), std::string::npos);
+}
+
+} // namespace
+} // namespace leaseos::sim

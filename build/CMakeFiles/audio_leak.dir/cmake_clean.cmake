@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_leak.dir/examples/audio_leak.cpp.o"
+  "CMakeFiles/audio_leak.dir/examples/audio_leak.cpp.o.d"
+  "examples/audio_leak"
+  "examples/audio_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

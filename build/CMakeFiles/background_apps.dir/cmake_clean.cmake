@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_apps.dir/examples/background_apps.cpp.o"
+  "CMakeFiles/background_apps.dir/examples/background_apps.cpp.o.d"
+  "examples/background_apps"
+  "examples/background_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

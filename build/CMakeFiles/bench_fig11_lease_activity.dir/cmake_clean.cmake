@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_lease_activity.dir/bench/bench_fig11_lease_activity.cc.o"
+  "CMakeFiles/bench_fig11_lease_activity.dir/bench/bench_fig11_lease_activity.cc.o.d"
+  "bench/bench_fig11_lease_activity"
+  "bench/bench_fig11_lease_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_lease_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_lambda.dir/bench/bench_fig12_lambda.cc.o"
+  "CMakeFiles/bench_fig12_lambda.dir/bench/bench_fig12_lambda.cc.o.d"
+  "bench/bench_fig12_lambda"
+  "bench/bench_fig12_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_gps_ask.dir/bench/bench_fig1_gps_ask.cc.o"
+  "CMakeFiles/bench_fig1_gps_ask.dir/bench/bench_fig1_gps_ask.cc.o.d"
+  "bench/bench_fig1_gps_ask"
+  "bench/bench_fig1_gps_ask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_gps_ask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

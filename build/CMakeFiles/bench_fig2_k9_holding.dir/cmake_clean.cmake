@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_k9_holding.dir/bench/bench_fig2_k9_holding.cc.o"
+  "CMakeFiles/bench_fig2_k9_holding.dir/bench/bench_fig2_k9_holding.cc.o.d"
+  "bench/bench_fig2_k9_holding"
+  "bench/bench_fig2_k9_holding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_k9_holding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

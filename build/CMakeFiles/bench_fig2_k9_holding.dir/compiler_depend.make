@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig2_k9_holding.
+# This may be replaced when dependencies are built.

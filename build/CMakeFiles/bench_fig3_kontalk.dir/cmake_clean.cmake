@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_kontalk.dir/bench/bench_fig3_kontalk.cc.o"
+  "CMakeFiles/bench_fig3_kontalk.dir/bench/bench_fig3_kontalk.cc.o.d"
+  "bench/bench_fig3_kontalk"
+  "bench/bench_fig3_kontalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_kontalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_k9_lub.dir/bench/bench_fig4_k9_lub.cc.o"
+  "CMakeFiles/bench_fig4_k9_lub.dir/bench/bench_fig4_k9_lub.cc.o.d"
+  "bench/bench_fig4_k9_lub"
+  "bench/bench_fig4_k9_lub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_k9_lub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_term_sweep.dir/bench/bench_fig9_term_sweep.cc.o"
+  "CMakeFiles/bench_fig9_term_sweep.dir/bench/bench_fig9_term_sweep.cc.o.d"
+  "bench/bench_fig9_term_sweep"
+  "bench/bench_fig9_term_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_term_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_study.dir/bench/bench_table2_study.cc.o"
+  "CMakeFiles/bench_table2_study.dir/bench/bench_table2_study.cc.o.d"
+  "bench/bench_table2_study"
+  "bench/bench_table2_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_mitigation.dir/bench/bench_table5_mitigation.cc.o"
+  "CMakeFiles/bench_table5_mitigation.dir/bench/bench_table5_mitigation.cc.o.d"
+  "bench/bench_table5_mitigation"
+  "bench/bench_table5_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usability.dir/bench/bench_usability.cc.o"
+  "CMakeFiles/bench_usability.dir/bench/bench_usability.cc.o.d"
+  "bench/bench_usability"
+  "bench/bench_usability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_utility.dir/examples/custom_utility.cpp.o"
+  "CMakeFiles/custom_utility.dir/examples/custom_utility.cpp.o.d"
+  "examples/custom_utility"
+  "examples/custom_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

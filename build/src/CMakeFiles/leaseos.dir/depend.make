@@ -1,0 +1,2 @@
+# Empty dependencies file for leaseos.
+# This may be replaced when dependencies are built.

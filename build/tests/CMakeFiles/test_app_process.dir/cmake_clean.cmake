@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_process.dir/app/test_app_process.cc.o"
+  "CMakeFiles/test_app_process.dir/app/test_app_process.cc.o.d"
+  "test_app_process"
+  "test_app_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

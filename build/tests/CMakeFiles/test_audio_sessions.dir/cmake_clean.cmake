@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_audio_sessions.dir/os/test_audio_sessions.cc.o"
+  "CMakeFiles/test_audio_sessions.dir/os/test_audio_sessions.cc.o.d"
+  "test_audio_sessions"
+  "test_audio_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_audio_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

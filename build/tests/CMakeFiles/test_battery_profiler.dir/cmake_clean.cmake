@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_battery_profiler.dir/power/test_battery_profiler.cc.o"
+  "CMakeFiles/test_battery_profiler.dir/power/test_battery_profiler.cc.o.d"
+  "test_battery_profiler"
+  "test_battery_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_battery_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bluetooth.dir/os/test_bluetooth.cc.o"
+  "CMakeFiles/test_bluetooth.dir/os/test_bluetooth.cc.o.d"
+  "test_bluetooth"
+  "test_bluetooth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bluetooth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buggy_apps.dir/apps/test_buggy_apps.cc.o"
+  "CMakeFiles/test_buggy_apps.dir/apps/test_buggy_apps.cc.o.d"
+  "test_buggy_apps"
+  "test_buggy_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buggy_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

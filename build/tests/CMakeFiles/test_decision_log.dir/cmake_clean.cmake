@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decision_log.dir/lease/test_decision_log.cc.o"
+  "CMakeFiles/test_decision_log.dir/lease/test_decision_log.cc.o.d"
+  "test_decision_log"
+  "test_decision_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decision_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_defdroid_throttle.dir/mitigation/test_defdroid_throttle.cc.o"
+  "CMakeFiles/test_defdroid_throttle.dir/mitigation/test_defdroid_throttle.cc.o.d"
+  "test_defdroid_throttle"
+  "test_defdroid_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_defdroid_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doze.dir/mitigation/test_doze.cc.o"
+  "CMakeFiles/test_doze.dir/mitigation/test_doze.cc.o.d"
+  "test_doze"
+  "test_doze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_accountant.dir/power/test_energy_accountant.cc.o"
+  "CMakeFiles/test_energy_accountant.dir/power/test_energy_accountant.cc.o.d"
+  "test_energy_accountant"
+  "test_energy_accountant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_accountant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

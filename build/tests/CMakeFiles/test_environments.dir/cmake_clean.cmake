@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_environments.dir/env/test_environments.cc.o"
+  "CMakeFiles/test_environments.dir/env/test_environments.cc.o.d"
+  "test_environments"
+  "test_environments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_environments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lease_manager.dir/lease/test_lease_manager.cc.o"
+  "CMakeFiles/test_lease_manager.dir/lease/test_lease_manager.cc.o.d"
+  "test_lease_manager"
+  "test_lease_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lease_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lease_state.dir/lease/test_lease_state.cc.o"
+  "CMakeFiles/test_lease_state.dir/lease/test_lease_state.cc.o.d"
+  "test_lease_state"
+  "test_lease_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lease_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lease_table.dir/lease/test_lease_table.cc.o"
+  "CMakeFiles/test_lease_table.dir/lease/test_lease_table.cc.o.d"
+  "test_lease_table"
+  "test_lease_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lease_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_location_manager.dir/os/test_location_manager.cc.o"
+  "CMakeFiles/test_location_manager.dir/os/test_location_manager.cc.o.d"
+  "test_location_manager"
+  "test_location_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_location_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_utility.dir/lease/test_policy_utility.cc.o"
+  "CMakeFiles/test_policy_utility.dir/lease/test_policy_utility.cc.o.d"
+  "test_policy_utility"
+  "test_policy_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

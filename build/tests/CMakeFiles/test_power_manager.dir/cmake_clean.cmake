@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_manager.dir/os/test_power_manager.cc.o"
+  "CMakeFiles/test_power_manager.dir/os/test_power_manager.cc.o.d"
+  "test_power_manager"
+  "test_power_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reputation.dir/lease/test_reputation.cc.o"
+  "CMakeFiles/test_reputation.dir/lease/test_reputation.cc.o.d"
+  "test_reputation"
+  "test_reputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

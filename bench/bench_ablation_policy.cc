@@ -8,6 +8,10 @@
  *  3. custom utility (Fig. 6) on/off — TapAndTurn is only caught with it;
  *  4. the GPS confirmation window — without it, a legitimate navigation
  *     app gets misjudged during cold-start fix acquisition.
+ *
+ * Every configuration is an independent RunSpec; the full set runs on a
+ * ParallelRunner (`--jobs`/LEASEOS_JOBS) and the table is mirrored to
+ * BENCH_ablation_policy.json.
  */
 
 #include <iostream>
@@ -18,181 +22,206 @@
 #include "apps/normal/runkeeper.h"
 #include "apps/registry.h"
 #include "harness/experiment.h"
-#include "harness/figure.h"
+#include "harness/result_sink.h"
+#include "harness/runner.h"
 #include "harness/table.h"
 
 using namespace leaseos;
+using harness::ResultSink;
 using sim::operator""_s;
 using sim::operator""_min;
 using harness::TextTable;
 
 namespace {
 
-double
-torchReduction(bool escalate)
+/** Table-5-style cell for a buggy app, with a lease-policy tweak. */
+template <typename F>
+harness::RunSpec
+cellWithPolicy(const std::string &appKey, F tweak)
 {
-    const auto &spec = apps::buggySpec("torch");
-    harness::MitigationRunOptions opt;
-    opt.duration = 30_min;
-    auto vanilla =
-        harness::runMitigationCell(spec, harness::MitigationMode::None,
-                                   opt);
-    harness::DeviceConfig cfg;
-    cfg.mode = harness::MitigationMode::LeaseOS;
-    cfg.leasePolicy.escalateDeferral = escalate;
-    harness::Device device(cfg);
-    spec.trigger(device);
-    app::App &app = spec.install(device);
-    harness::installGlanceScript(device, opt);
-    device.start();
-    device.runFor(opt.duration);
-    return harness::reductionPercent(vanilla.appPowerMw,
-                                     device.appPowerMw(app.uid()));
+    harness::RunSpec spec = harness::mitigationCellSpec(
+        apps::buggySpec(appKey), harness::MitigationMode::LeaseOS, {});
+    spec.config.tunePolicy(tweak);
+    return spec;
 }
 
-std::uint64_t
-wellBehavedTermChecks(bool adaptive)
+/** A healthy RunKeeper workout session (moving GPS + motion). */
+harness::RunSpec
+runKeeperSpec(double speedMps, double speedSd)
 {
-    harness::DeviceConfig cfg;
-    cfg.mode = harness::MitigationMode::LeaseOS;
-    cfg.leasePolicy.adaptiveTerm = adaptive;
-    harness::Device device(cfg);
-    device.gpsEnv().setVelocity(2.0, 1.0);
-    device.motion().setStationary(false);
-    device.install<apps::RunKeeper>();
-    device.start();
-    device.runFor(30_min);
-    return device.leaseos()->manager().termChecks();
-}
-
-std::uint64_t
-tapAndTurnDeferrals(bool register_counter)
-{
-    harness::DeviceConfig cfg;
-    cfg.mode = harness::MitigationMode::LeaseOS;
-    harness::Device device(cfg);
-    auto &app = device.install<apps::TapAndTurn>();
-    device.start();
-    if (!register_counter) {
-        // Simulate the app not opting into the custom utility API.
-        device.leaseos()->manager().setUtility(
-            app.uid(), lease::ResourceType::Sensor, nullptr);
-    }
-    device.runFor(30_min);
-    return device.leaseos()->manager().totalDeferrals();
-}
-
-double
-betterWeatherReduction(bool remember)
-{
-    const auto &spec = apps::buggySpec("betterweather");
-    harness::MitigationRunOptions opt;
-    opt.duration = 30_min;
-    auto vanilla =
-        harness::runMitigationCell(spec, harness::MitigationMode::None,
-                                   opt);
-    harness::DeviceConfig cfg;
-    cfg.mode = harness::MitigationMode::LeaseOS;
-    cfg.leasePolicy.rememberMisbehavior = remember;
-    harness::Device device(cfg);
-    spec.trigger(device);
-    app::App &app = spec.install(device);
-    harness::installGlanceScript(device, opt);
-    device.start();
-    device.runFor(opt.duration);
-    return harness::reductionPercent(vanilla.appPowerMw,
-                                     device.appPowerMw(app.uid()));
-}
-
-double
-k9PowerWithDvfs(bool dvfs)
-{
-    harness::DeviceConfig cfg;
-    cfg.mode = harness::MitigationMode::None;
-    cfg.dvfsEnabled = dvfs;
-    harness::Device device(cfg);
-    device.network().setConnected(false);
-    auto &app = device.install<apps::K9Mail>();
-    device.start();
-    device.runFor(30_min);
-    return device.appPowerMw(app.uid());
-}
-
-std::uint64_t
-navigationDeferrals(int confirmTerms)
-{
-    harness::DeviceConfig cfg;
-    cfg.mode = harness::MitigationMode::LeaseOS;
-    cfg.leasePolicy.gpsConfirmTerms = confirmTerms;
-    harness::Device device(cfg);
-    device.gpsEnv().setVelocity(13.0, 2.0); // driving with navigation
-    device.motion().setStationary(false);
-    device.install<apps::RunKeeper>();
-    device.start();
-    device.runFor(30_min);
-    return device.leaseos()->manager().totalDeferrals();
+    return harness::RunSpec{}
+        .withConfig(harness::DeviceConfig{}.withMode(
+            harness::MitigationMode::LeaseOS))
+        .withDuration(30_min)
+        .withSetup([speedMps, speedSd](harness::Device &d) {
+            d.gpsEnv().setVelocity(speedMps, speedSd);
+            d.motion().setStationary(false);
+        })
+        .withApp<apps::RunKeeper>();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << harness::figureHeader(
-        "Ablations",
-        "Effect of the policy mechanisms on mitigation effectiveness and "
-        "misjudgment (30-minute runs).");
+    std::vector<harness::RunSpec> specs;
+    auto add = [&](harness::RunSpec spec) {
+        std::size_t i = specs.size();
+        specs.push_back(std::move(spec));
+        return i;
+    };
 
-    TextTable table({"Ablation", "Configuration", "Result"});
+    // 1. deferral escalation: Torch reduction with/without.
+    std::size_t torchVanilla = add(harness::mitigationCellSpec(
+        apps::buggySpec("torch"), harness::MitigationMode::None, {}));
+    std::size_t torchEscalate = add(cellWithPolicy(
+        "torch", [](lease::LeasePolicy &p) { p.escalateDeferral = true; }));
+    std::size_t torchFixedTau = add(cellWithPolicy(
+        "torch",
+        [](lease::LeasePolicy &p) { p.escalateDeferral = false; }));
 
-    table.addRow({"deferral escalation", "on (default)",
-                  "Torch reduction " +
-                      TextTable::pct(torchReduction(true))});
-    table.addRow({"deferral escalation", "off (fixed tau=25s)",
-                  "Torch reduction " +
-                      TextTable::pct(torchReduction(false))});
-    table.addSeparator();
+    // 2. adaptive terms: accounting volume for a healthy app (jogging).
+    std::size_t adaptiveOn =
+        add(runKeeperSpec(2.0, 1.0).withName("RunKeeper adaptive"));
+    specs[adaptiveOn].config.tunePolicy(
+        [](lease::LeasePolicy &p) { p.adaptiveTerm = true; });
+    std::size_t adaptiveOff =
+        add(runKeeperSpec(2.0, 1.0).withName("RunKeeper fixed-term"));
+    specs[adaptiveOff].config.tunePolicy(
+        [](lease::LeasePolicy &p) { p.adaptiveTerm = false; });
 
-    table.addRow({"adaptive terms (5.2)", "on (default)",
-                  std::to_string(wellBehavedTermChecks(true)) +
-                      " term checks for a healthy app"});
-    table.addRow({"adaptive terms (5.2)", "off (always 5s)",
-                  std::to_string(wellBehavedTermChecks(false)) +
-                      " term checks for a healthy app"});
-    table.addSeparator();
+    // 3. custom utility: TapAndTurn with and without its counter.
+    std::size_t tapRegistered =
+        add(harness::RunSpec{}
+                .withName("TapAndTurn registered")
+                .withConfig(harness::DeviceConfig{}.withMode(
+                    harness::MitigationMode::LeaseOS))
+                .withDuration(30_min)
+                .withApp<apps::TapAndTurn>());
+    std::size_t tapUnregistered =
+        add(harness::RunSpec{}
+                .withName("TapAndTurn unregistered")
+                .withConfig(harness::DeviceConfig{}.withMode(
+                    harness::MitigationMode::LeaseOS))
+                .withDuration(30_min)
+                .withApp<apps::TapAndTurn>()
+                // Simulate the app not opting into the custom utility API.
+                .withPostStart([](harness::Device &d) {
+                    d.leaseos()->manager().setUtility(
+                        d.apps().front()->uid(),
+                        lease::ResourceType::Sensor, nullptr);
+                }));
 
-    table.addRow({"custom utility (Fig.6)", "registered",
-                  std::to_string(tapAndTurnDeferrals(true)) +
-                      " deferrals for TapAndTurn (caught)"});
-    table.addRow({"custom utility (Fig.6)", "not registered",
-                  std::to_string(tapAndTurnDeferrals(false)) +
-                      " deferrals for TapAndTurn"});
-    table.addSeparator();
+    // 4. GPS confirm window: misjudged deferrals of legit navigation.
+    std::size_t confirm2 =
+        add(runKeeperSpec(13.0, 2.0).withName("navigation confirm=2"));
+    specs[confirm2].config.tunePolicy(
+        [](lease::LeasePolicy &p) { p.gpsConfirmTerms = 2; });
+    std::size_t confirm1 =
+        add(runKeeperSpec(13.0, 2.0).withName("navigation confirm=1"));
+    specs[confirm1].config.tunePolicy(
+        [](lease::LeasePolicy &p) { p.gpsConfirmTerms = 1; });
 
-    table.addRow({"GPS confirm window", "2 terms (default)",
-                  std::to_string(navigationDeferrals(2)) +
-                      " deferrals for legit navigation (want 0)"});
-    table.addRow({"GPS confirm window", "1 term (no grace)",
-                  std::to_string(navigationDeferrals(1)) +
-                      " deferrals for legit navigation"});
-    table.addSeparator();
+    // 5. reputation (§8 extension): BetterWeather with usage history.
+    std::size_t bwVanilla = add(harness::mitigationCellSpec(
+        apps::buggySpec("betterweather"), harness::MitigationMode::None,
+        {}));
+    std::size_t bwForget = add(cellWithPolicy(
+        "betterweather",
+        [](lease::LeasePolicy &p) { p.rememberMisbehavior = false; }));
+    std::size_t bwRemember = add(cellWithPolicy(
+        "betterweather",
+        [](lease::LeasePolicy &p) { p.rememberMisbehavior = true; }));
 
-    table.addRow({"reputation (§8 ext.)", "off (default, faithful)",
-                  "BetterWeather reduction " +
-                      TextTable::pct(betterWeatherReduction(false))});
-    table.addRow({"reputation (§8 ext.)", "on (usage history)",
-                  "BetterWeather reduction " +
-                      TextTable::pct(betterWeatherReduction(true))});
-    table.addSeparator();
+    // 6. DVFS (§8 extension): K-9 spin under the ondemand governor.
+    auto k9Spec = [](bool dvfs) {
+        return harness::RunSpec{}
+            .withName(dvfs ? "K-9 dvfs" : "K-9 const-freq")
+            .withConfig(harness::DeviceConfig{}
+                            .withMode(harness::MitigationMode::None)
+                            .withDvfs(dvfs))
+            .withDuration(30_min)
+            .withSetup([](harness::Device &d) {
+                d.network().setConnected(false);
+            })
+            .withApp<apps::K9Mail>();
+    };
+    std::size_t k9Fixed = add(k9Spec(false));
+    std::size_t k9Dvfs = add(k9Spec(true));
 
-    table.addRow({"DVFS (§8 ext.)", "off (paper's assumption)",
-                  "K-9 spin draws " +
-                      TextTable::fmt(k9PowerWithDvfs(false)) + " mW"});
-    table.addRow({"DVFS (§8 ext.)", "on (ondemand governor)",
-                  "K-9 spin draws " +
-                      TextTable::fmt(k9PowerWithDvfs(true)) +
-                      " mW (utilisation metrics frequency-normalised)"});
+    harness::ParallelRunner runner(harness::ParallelRunner::parseArgs(
+        argc, argv));
+    std::cerr << "[ablation] " << specs.size() << " runs on "
+              << runner.jobs() << " worker(s)\n";
+    auto results = runner.run(specs);
 
-    std::cout << table.toString();
+    auto reduction = [&](std::size_t baseline, std::size_t mitigated) {
+        return harness::reductionPercent(results[baseline].appPowerMw,
+                                         results[mitigated].appPowerMw);
+    };
+
+    harness::TextTableSink table;
+    harness::JsonSink json(harness::benchArtifactPath("ablation_policy"));
+    harness::TeeSink sink({&table, &json});
+    sink.begin("Ablations",
+               "Effect of the policy mechanisms on mitigation "
+               "effectiveness and misjudgment (30-minute runs).");
+
+    auto row = [&](const std::string &ablation, const std::string &config,
+                   const std::string &result) {
+        sink.addRow({{"Ablation", ResultSink::Value::str(ablation)},
+                     {"Configuration", ResultSink::Value::str(config)},
+                     {"Result", ResultSink::Value::str(result)}});
+    };
+
+    row("deferral escalation", "on (default)",
+        "Torch reduction " +
+            TextTable::pct(reduction(torchVanilla, torchEscalate)));
+    row("deferral escalation", "off (fixed tau=25s)",
+        "Torch reduction " +
+            TextTable::pct(reduction(torchVanilla, torchFixedTau)));
+    sink.addSeparator();
+
+    row("adaptive terms (5.2)", "on (default)",
+        std::to_string(results[adaptiveOn].termChecks) +
+            " term checks for a healthy app");
+    row("adaptive terms (5.2)", "off (always 5s)",
+        std::to_string(results[adaptiveOff].termChecks) +
+            " term checks for a healthy app");
+    sink.addSeparator();
+
+    row("custom utility (Fig.6)", "registered",
+        std::to_string(results[tapRegistered].deferrals) +
+            " deferrals for TapAndTurn (caught)");
+    row("custom utility (Fig.6)", "not registered",
+        std::to_string(results[tapUnregistered].deferrals) +
+            " deferrals for TapAndTurn");
+    sink.addSeparator();
+
+    row("GPS confirm window", "2 terms (default)",
+        std::to_string(results[confirm2].deferrals) +
+            " deferrals for legit navigation (want 0)");
+    row("GPS confirm window", "1 term (no grace)",
+        std::to_string(results[confirm1].deferrals) +
+            " deferrals for legit navigation");
+    sink.addSeparator();
+
+    row("reputation (§8 ext.)", "off (default, faithful)",
+        "BetterWeather reduction " +
+            TextTable::pct(reduction(bwVanilla, bwForget)));
+    row("reputation (§8 ext.)", "on (usage history)",
+        "BetterWeather reduction " +
+            TextTable::pct(reduction(bwVanilla, bwRemember)));
+    sink.addSeparator();
+
+    row("DVFS (§8 ext.)", "off (paper's assumption)",
+        "K-9 spin draws " + TextTable::fmt(results[k9Fixed].appPowerMw) +
+            " mW");
+    row("DVFS (§8 ext.)", "on (ondemand governor)",
+        "K-9 spin draws " + TextTable::fmt(results[k9Dvfs].appPowerMw) +
+            " mW (utilisation metrics frequency-normalised)");
+
+    sink.finish();
     return 0;
 }

@@ -9,37 +9,55 @@
  *      grows with the term (λ = 1, 0.5, 1/6);
  *  (b) fixed λ = 1 (τ = term): holding ~900 s for every term — only the
  *      ratio λ matters, not the absolute term (r = 1/(1+λ)).
+ *
+ * The distinct (term, τ, lease on/off) cells run concurrently on a
+ * ParallelRunner (`--jobs`/LEASEOS_JOBS); the model-validation table is
+ * also written to BENCH_fig9_term_sweep.json.
  */
 
 #include <iostream>
+#include <map>
+#include <tuple>
 
 #include "apps/synthetic/synthetic_apps.h"
 #include "harness/device.h"
 #include "harness/figure.h"
+#include "harness/result_sink.h"
+#include "harness/runner.h"
 #include "harness/table.h"
 
 using namespace leaseos;
+using harness::ResultSink;
 using sim::operator""_s;
 using sim::operator""_min;
 
 namespace {
 
-/** Run the LHB test app for 30 min; return effective holding seconds. */
-double
-runWith(sim::Time term, sim::Time tau, bool lease_enabled)
+/** Spec for the LHB test app under one (term, tau, lease on/off) cell. */
+harness::RunSpec
+sweepSpec(sim::Time term, sim::Time tau, bool lease_enabled)
 {
-    harness::DeviceConfig cfg;
-    cfg.mode = lease_enabled ? harness::MitigationMode::LeaseOS
-                             : harness::MitigationMode::None;
-    cfg.leasePolicy.initialTerm = term;
-    cfg.leasePolicy.deferralInterval = tau;
-    cfg.leasePolicy.adaptiveTerm = false;   // isolate the term variable
-    cfg.leasePolicy.escalateDeferral = false; // the paper's fixed-τ setup
-    harness::Device device(cfg);
-    auto &app = device.install<apps::LongHoldingTestApp>();
-    device.start();
-    device.runFor(30_min);
-    return device.server().powerManager().enabledSeconds(app.uid());
+    return harness::RunSpec{}
+        .withName("term=" + term.toString() + " tau=" + tau.toString() +
+                  (lease_enabled ? "" : " (no lease)"))
+        .withConfig(harness::DeviceConfig{}
+                        .withMode(lease_enabled
+                                      ? harness::MitigationMode::LeaseOS
+                                      : harness::MitigationMode::None)
+                        .tunePolicy([&](lease::LeasePolicy &p) {
+                            p.initialTerm = term;
+                            p.deferralInterval = tau;
+                            // Isolate the term variable; the paper's
+                            // fixed-τ setup.
+                            p.adaptiveTerm = false;
+                            p.escalateDeferral = false;
+                        }))
+        .withDuration(30_min)
+        .withApp<apps::LongHoldingTestApp>()
+        .withProbe("held_s", [](harness::Device &d) {
+            return d.server().powerManager().enabledSeconds(
+                d.apps().front()->uid());
+        });
 }
 
 std::string
@@ -52,7 +70,7 @@ termLabel(sim::Time t)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << harness::figureHeader(
         "Figure 9",
@@ -63,35 +81,72 @@ main()
 
     const sim::Time terms[] = {30_s, 60_s, 180_s};
 
+    // Every distinct cell the figure and the model table need.
+    using Key = std::tuple<std::int64_t, std::int64_t, bool>;
+    auto key = [](sim::Time term, sim::Time tau, bool lease) {
+        return Key{term.nanos(), tau.nanos(), lease};
+    };
+    std::vector<Key> order;
+    std::vector<harness::RunSpec> specs;
+    auto addCell = [&](sim::Time term, sim::Time tau, bool lease) {
+        Key k = key(term, tau, lease);
+        for (const Key &seen : order)
+            if (seen == k) return;
+        order.push_back(k);
+        specs.push_back(sweepSpec(term, tau, lease));
+    };
+    for (sim::Time term : terms) {
+        addCell(term, 30_s, true); // (a) fixed tau
+        addCell(term, term, true); // (b) fixed lambda
+    }
+    addCell(30_s, 30_s, false); // the "inf" (no-lease) bar
+
+    harness::ParallelRunner runner(harness::ParallelRunner::parseArgs(
+        argc, argv));
+    auto results = runner.run(specs);
+    std::map<Key, double> held;
+    for (std::size_t i = 0; i < order.size(); ++i)
+        held[order[i]] = results[i].probe("held_s");
+
+    auto heldFor = [&](sim::Time term, sim::Time tau, bool lease) {
+        return held.at(key(term, tau, lease));
+    };
+
     std::cout << "(a) fixed deferral interval tau = 30 s\n";
     std::vector<std::pair<std::string, double>> bars_a;
     for (sim::Time term : terms)
-        bars_a.emplace_back(termLabel(term), runWith(term, 30_s, true));
-    bars_a.emplace_back("inf", runWith(30_s, 30_s, false));
+        bars_a.emplace_back(termLabel(term), heldFor(term, 30_s, true));
+    bars_a.emplace_back("inf", heldFor(30_s, 30_s, false));
     std::cout << harness::barChart(bars_a, "s held", 1800.0) << "\n";
 
     std::cout << "(b) fixed lambda = tau/term = 1\n";
     std::vector<std::pair<std::string, double>> bars_b;
     for (sim::Time term : terms)
-        bars_b.emplace_back(termLabel(term), runWith(term, term, true));
-    bars_b.emplace_back("inf", runWith(30_s, 30_s, false));
+        bars_b.emplace_back(termLabel(term), heldFor(term, term, true));
+    bars_b.emplace_back("inf", heldFor(30_s, 30_s, false));
     std::cout << harness::barChart(bars_b, "s held", 1800.0) << "\n";
 
     // §5.1 model check: holding fraction r = 1/(1+lambda).
-    harness::TextTable model({"term", "tau", "lambda", "measured r",
-                              "model 1/(1+lambda)"});
+    harness::TextTableSink table;
+    harness::JsonSink json(harness::benchArtifactPath("fig9_term_sweep"));
+    harness::TeeSink sink({&table, &json});
+    sink.begin("Figure 9 model",
+               "Model validation (r = holding fraction, 1/(1+lambda))");
     for (sim::Time term : terms) {
         for (sim::Time tau : {30_s, term}) {
             double lambda = tau / term;
-            double measured = runWith(term, tau, true) / 1800.0;
-            model.addRow({termLabel(term), termLabel(tau),
-                          harness::TextTable::fmt(lambda, 2),
-                          harness::TextTable::fmt(measured, 3),
-                          harness::TextTable::fmt(1.0 / (1.0 + lambda),
-                                                  3)});
+            double measured = heldFor(term, tau, true) / 1800.0;
+            sink.addRow(
+                {{"term", ResultSink::Value::str(termLabel(term))},
+                 {"tau", ResultSink::Value::str(termLabel(tau))},
+                 {"lambda", ResultSink::Value::num(lambda)},
+                 {"held_s",
+                  ResultSink::Value::num(heldFor(term, tau, true), 0)},
+                 {"measured_r", ResultSink::Value::num(measured, 3)},
+                 {"model_r",
+                  ResultSink::Value::num(1.0 / (1.0 + lambda), 3)}});
         }
     }
-    std::cout << "Model validation (r = holding fraction):\n"
-              << model.toString();
+    sink.finish();
     return 0;
 }

@@ -4,17 +4,18 @@
  * resources. The matrix is *derived* by probing the behaviour classifier
  * with synthetic term stats representing each behaviour pattern, so it
  * documents what the implementation actually enforces (e.g. FAB is only
- * reachable for GPS).
+ * reachable for GPS). Emitted through the ResultSink pair: text table on
+ * stdout plus BENCH_table1_matrix.json.
  */
 
 #include <iostream>
 
-#include "harness/figure.h"
-#include "harness/table.h"
+#include "harness/result_sink.h"
 #include "lease/behavior_classifier.h"
 
 using namespace leaseos;
 using namespace leaseos::lease;
+using harness::ResultSink;
 
 namespace {
 
@@ -55,7 +56,10 @@ statFor(BehaviorType target)
 int
 main()
 {
-    std::cout << harness::figureHeader(
+    harness::TextTableSink table;
+    harness::JsonSink json(harness::benchArtifactPath("table1_matrix"));
+    harness::TeeSink sink({&table, &json});
+    sink.begin(
         "Table 1",
         "Four types of energy misbehaviour x resources. A check means the "
         "classifier can produce that behaviour for the resource; '*' "
@@ -76,28 +80,32 @@ main()
         {ResourceType::Sensor, "Sensors", true},
         {ResourceType::Bluetooth, "Bluetooth", true},
     };
-    const BehaviorType columns[] = {
-        BehaviorType::FrequentAsk, BehaviorType::LongHolding,
-        BehaviorType::LowUtility, BehaviorType::ExcessiveUse};
+    const struct {
+        BehaviorType behavior;
+        const char *column;
+    } columns[] = {
+        {BehaviorType::FrequentAsk, "FAB (Ask)"},
+        {BehaviorType::LongHolding, "LHB (Use)"},
+        {BehaviorType::LowUtility, "LUB (Use)"},
+        {BehaviorType::ExcessiveUse, "EUB (Release)"},
+    };
 
-    harness::TextTable table(
-        {"Resource", "FAB (Ask)", "LHB (Use)", "LUB (Use)",
-         "EUB (Release)"});
     for (const auto &res : resources) {
-        std::vector<std::string> row{res.label};
-        for (BehaviorType column : columns) {
+        ResultSink::Row row{
+            {"Resource", ResultSink::Value::str(res.label)}};
+        for (const auto &column : columns) {
             BehaviorType got =
-                classifier.classify(res.rtype, statFor(column));
-            bool reachable = got == column;
+                classifier.classify(res.rtype, statFor(column.behavior));
+            bool reachable = got == column.behavior;
             std::string mark = reachable ? "yes" : "no";
             if (reachable && res.starredUse &&
-                (column == BehaviorType::LongHolding))
+                (column.behavior == BehaviorType::LongHolding))
                 mark += "*";
-            row.push_back(mark);
+            row.emplace_back(column.column, ResultSink::Value::str(mark));
         }
-        table.addRow(std::move(row));
+        sink.addRow(row);
     }
-    std::cout << table.toString();
+    sink.finish();
     std::cout << "\nPaper: FAB only occurs for GPS; all resources can "
                  "exhibit LHB/LUB/EUB; audio LUB is rescued by the "
                  "audible-output generic utility in practice.\n";

@@ -9,49 +9,74 @@
  * ~92 % on average and beats Doze* (~69 %) and DefDroid (~62 %); Doze is
  * nearly useless on the screen-wakelock rows (it never touches the
  * screen); DefDroid is weakest on the GPS rows.
+ *
+ * The 80 cells (20 apps x 4 modes) are independent simulations and run on
+ * a worker pool: pass `--jobs N` (or set LEASEOS_JOBS) to pick the pool
+ * size, default hardware_concurrency. Results are identical for every
+ * job count. A machine-readable copy of the table lands in
+ * BENCH_table5_mitigation.json.
  */
 
 #include <iostream>
 
 #include "apps/registry.h"
 #include "harness/experiment.h"
-#include "harness/figure.h"
+#include "harness/result_sink.h"
+#include "harness/runner.h"
 #include "harness/table.h"
 
 using namespace leaseos;
 using harness::MitigationMode;
+using harness::ResultSink;
 using harness::TextTable;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << harness::figureHeader(
+    harness::MitigationRunOptions opt; // 30 min, Pixel XL, user glances
+
+    const MitigationMode modes[] = {
+        MitigationMode::None, MitigationMode::LeaseOS,
+        MitigationMode::DozeAggressive, MitigationMode::DefDroid};
+
+    // One spec per (app, mode) cell, grouped per app so results index as
+    // cell = results[appIndex * 4 + modeIndex].
+    std::vector<harness::RunSpec> specs;
+    for (const auto &spec : apps::table5Specs())
+        for (MitigationMode mode : modes)
+            specs.push_back(harness::mitigationCellSpec(spec, mode, opt));
+
+    harness::ParallelRunner runner(harness::ParallelRunner::parseArgs(
+        argc, argv));
+    std::cerr << "[table5] " << specs.size() << " cells on "
+              << runner.jobs() << " worker(s)\n";
+    auto results = runner.run(specs, [](const harness::RunResult &r) {
+        std::cerr << "[table5] " << r.name << " done\n";
+    });
+
+    harness::TextTableSink table;
+    harness::JsonSink json(
+        harness::benchArtifactPath("table5_mitigation"));
+    harness::TeeSink sink({&table, &json});
+    sink.begin(
         "Table 5",
         "Real-world apps with FAB/LHB/LUB misbehaviour: power (mW) w/o "
         "lease vs LeaseOS / Doze* / DefDroid, and reduction percentages. "
         "30-minute runs, Pixel XL, 100 ms power sampling. Doze* is "
         "force-triggered as in the paper.");
 
-    harness::MitigationRunOptions opt; // 30 min, Pixel XL, user glances
-
-    TextTable table({"App", "Cat.", "Res.", "Behav.", "w/o lease",
-                     "LeaseOS", "Doze*", "DefDroid", "Lease%", "Doze%",
-                     "DefDroid%"});
-
     double sum_lease = 0.0;
     double sum_doze = 0.0;
     double sum_defdroid = 0.0;
     int rows = 0;
 
-    for (const auto &spec : apps::table5Specs()) {
-        auto vanilla =
-            harness::runMitigationCell(spec, MitigationMode::None, opt);
-        auto leased =
-            harness::runMitigationCell(spec, MitigationMode::LeaseOS, opt);
-        auto dozed = harness::runMitigationCell(
-            spec, MitigationMode::DozeAggressive, opt);
-        auto defdroid = harness::runMitigationCell(
-            spec, MitigationMode::DefDroid, opt);
+    const auto &table5 = apps::table5Specs();
+    for (std::size_t a = 0; a < table5.size(); ++a) {
+        const auto &spec = table5[a];
+        const auto &vanilla = results[a * 4 + 0];
+        const auto &leased = results[a * 4 + 1];
+        const auto &dozed = results[a * 4 + 2];
+        const auto &defdroid = results[a * 4 + 3];
 
         double r_lease = harness::reductionPercent(vanilla.appPowerMw,
                                                    leased.appPowerMw);
@@ -64,22 +89,35 @@ main()
         sum_defdroid += r_defdroid;
         ++rows;
 
-        table.addRow({spec.display, spec.category, spec.resource,
-                      spec.behavior, TextTable::fmt(vanilla.appPowerMw),
-                      TextTable::fmt(leased.appPowerMw),
-                      TextTable::fmt(dozed.appPowerMw),
-                      TextTable::fmt(defdroid.appPowerMw),
-                      TextTable::pct(r_lease), TextTable::pct(r_doze),
-                      TextTable::pct(r_defdroid)});
-        std::cerr << "[table5] " << spec.display << " done\n";
+        sink.addRow({{"App", ResultSink::Value::str(spec.display)},
+                     {"Cat.", ResultSink::Value::str(spec.category)},
+                     {"Res.", ResultSink::Value::str(spec.resource)},
+                     {"Behav.", ResultSink::Value::str(spec.behavior)},
+                     {"w/o lease",
+                      ResultSink::Value::num(vanilla.appPowerMw)},
+                     {"LeaseOS", ResultSink::Value::num(leased.appPowerMw)},
+                     {"Doze*", ResultSink::Value::num(dozed.appPowerMw)},
+                     {"DefDroid",
+                      ResultSink::Value::num(defdroid.appPowerMw)},
+                     {"Lease%", ResultSink::Value::num(r_lease)},
+                     {"Doze%", ResultSink::Value::num(r_doze)},
+                     {"DefDroid%", ResultSink::Value::num(r_defdroid)}});
     }
 
-    table.addSeparator();
-    table.addRow({"Average", "", "", "", "", "", "", "",
-                  TextTable::pct(sum_lease / rows),
-                  TextTable::pct(sum_doze / rows),
-                  TextTable::pct(sum_defdroid / rows)});
-    std::cout << table.toString();
+    sink.addSeparator();
+    sink.addRow({{"App", ResultSink::Value::str("Average")},
+                 {"Cat.", ResultSink::Value::str("")},
+                 {"Res.", ResultSink::Value::str("")},
+                 {"Behav.", ResultSink::Value::str("")},
+                 {"w/o lease", ResultSink::Value::str("")},
+                 {"LeaseOS", ResultSink::Value::str("")},
+                 {"Doze*", ResultSink::Value::str("")},
+                 {"DefDroid", ResultSink::Value::str("")},
+                 {"Lease%", ResultSink::Value::num(sum_lease / rows)},
+                 {"Doze%", ResultSink::Value::num(sum_doze / rows)},
+                 {"DefDroid%",
+                  ResultSink::Value::num(sum_defdroid / rows)}});
+    sink.finish();
     std::cout << "\nPaper averages: LeaseOS 92.62%, Doze* 69.64%, "
                  "DefDroid 62.04%.\n";
     return 0;

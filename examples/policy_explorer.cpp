@@ -4,12 +4,16 @@
  * Long-Holding app and print the resulting effectiveness — a hands-on
  * version of the §5.1 trade-off (short terms detect faster but account
  * more; the ratio λ = τ/t decides the reduction).
+ *
+ * Doubles as the tour of the sweep API: each (term, τ) cell is one
+ * declarative RunSpec, and the 9-cell grid runs concurrently on a
+ * ParallelRunner (pass --jobs N to pick the pool size).
  */
 
 #include <iostream>
 
 #include "apps/synthetic/synthetic_apps.h"
-#include "harness/device.h"
+#include "harness/runner.h"
 #include "harness/table.h"
 
 using namespace leaseos;
@@ -18,46 +22,54 @@ using sim::operator""_min;
 
 namespace {
 
-struct SweepResult {
-    double holdingSeconds;
-    double appPowerMw;
-    std::uint64_t termChecks;
-};
-
-SweepResult
-run(sim::Time term, sim::Time tau)
+harness::RunSpec
+sweepCell(sim::Time term, sim::Time tau)
 {
-    harness::DeviceConfig config;
-    config.mode = harness::MitigationMode::LeaseOS;
-    config.leasePolicy.initialTerm = term;
-    config.leasePolicy.deferralInterval = tau;
-    config.leasePolicy.adaptiveTerm = false;
-    config.leasePolicy.escalateDeferral = false;
-    harness::Device device(config);
-    auto &app = device.install<apps::LongHoldingTestApp>();
-    device.start();
-    device.runFor(30_min);
-    return {device.server().powerManager().enabledSeconds(app.uid()),
-            device.appPowerMw(app.uid()),
-            device.leaseos()->manager().termChecks()};
+    return harness::RunSpec{}
+        .withName("term=" + term.toString() + " tau=" + tau.toString())
+        .withConfig(harness::DeviceConfig{}
+                        .withMode(harness::MitigationMode::LeaseOS)
+                        .tunePolicy([&](lease::LeasePolicy &p) {
+                            p.initialTerm = term;
+                            p.deferralInterval = tau;
+                            p.adaptiveTerm = false;
+                            p.escalateDeferral = false;
+                        }))
+        .withDuration(30_min)
+        .withApp<apps::LongHoldingTestApp>()
+        .withProbe("held_s", [](harness::Device &d) {
+            return d.server().powerManager().enabledSeconds(
+                d.apps().front()->uid());
+        });
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << "Lease policy explorer: Long-Holding app, 30-minute "
                  "runs\n\n";
 
+    const sim::Time terms[] = {5_s, 30_s, 60_s};
+    const sim::Time taus[] = {25_s, 60_s, 180_s};
+    std::vector<harness::RunSpec> specs;
+    for (sim::Time term : terms)
+        for (sim::Time tau : taus) specs.push_back(sweepCell(term, tau));
+
+    harness::ParallelRunner runner(harness::ParallelRunner::parseArgs(
+        argc, argv));
+    auto results = runner.run(specs);
+
     harness::TextTable table({"term", "tau", "lambda", "held (s)",
                               "app power (mW)", "term checks"});
-    for (sim::Time term : {5_s, 30_s, 60_s}) {
-        for (sim::Time tau : {25_s, 60_s, 180_s}) {
-            SweepResult r = run(term, tau);
+    std::size_t i = 0;
+    for (sim::Time term : terms) {
+        for (sim::Time tau : taus) {
+            const auto &r = results[i++];
             table.addRow({term.toString(), tau.toString(),
                           harness::TextTable::fmt(tau / term, 2),
-                          harness::TextTable::fmt(r.holdingSeconds, 0),
+                          harness::TextTable::fmt(r.probe("held_s"), 0),
                           harness::TextTable::fmt(r.appPowerMw),
                           std::to_string(r.termChecks)});
         }

@@ -25,10 +25,7 @@ namespace {
 double
 measure(harness::MitigationMode mode)
 {
-    harness::DeviceConfig config;
-    config.mode = mode;
-
-    harness::Device device(config);
+    harness::Device device(harness::DeviceConfig{}.withMode(mode));
 
     // Trigger condition: the network is down, so buggy K-9 mail spins in
     // its retry loop holding a wakelock (the paper's Fig. 4 scenario).

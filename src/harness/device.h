@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "app/app.h"
@@ -46,7 +47,16 @@ enum class MitigationMode {
 
 const char *mitigationModeName(MitigationMode m);
 
-/** Device construction parameters. */
+/**
+ * Device construction parameters.
+ *
+ * Plain aggregate, plus fluent `with*` builders so declarative call sites
+ * (RunSpec lists, benches, examples) can assemble a config inline:
+ *
+ *     Device dev(DeviceConfig{}
+ *                    .withMode(MitigationMode::LeaseOS)
+ *                    .withSeed(42));
+ */
 struct DeviceConfig {
     power::DeviceProfile profile = power::profiles::pixelXl();
     MitigationMode mode = MitigationMode::None;
@@ -63,6 +73,71 @@ struct DeviceConfig {
      * assumes constant frequency.
      */
     bool dvfsEnabled = false;
+
+    // ---- Fluent builders -----------------------------------------------
+
+    DeviceConfig &
+    withMode(MitigationMode m)
+    {
+        mode = m;
+        return *this;
+    }
+    DeviceConfig &
+    withProfile(power::DeviceProfile p)
+    {
+        profile = std::move(p);
+        return *this;
+    }
+    DeviceConfig &
+    withSeed(std::uint64_t s)
+    {
+        seed = s;
+        return *this;
+    }
+    DeviceConfig &
+    withLeasePolicy(lease::LeasePolicy p)
+    {
+        leasePolicy = std::move(p);
+        return *this;
+    }
+    /** In-place tweak of the lease policy: `.tunePolicy([](auto &p) {...})`. */
+    template <typename F>
+    DeviceConfig &
+    tunePolicy(F &&f)
+    {
+        f(leasePolicy);
+        return *this;
+    }
+    DeviceConfig &
+    withDozeConfig(mitigation::DozeConfig c)
+    {
+        dozeConfig = c;
+        return *this;
+    }
+    DeviceConfig &
+    withDefDroidConfig(mitigation::DefDroidConfig c)
+    {
+        defdroidConfig = c;
+        return *this;
+    }
+    DeviceConfig &
+    withThrottleHoldLimit(sim::Time limit)
+    {
+        throttleHoldLimit = limit;
+        return *this;
+    }
+    DeviceConfig &
+    withProfilerPeriod(sim::Time period)
+    {
+        profilerPeriod = period;
+        return *this;
+    }
+    DeviceConfig &
+    withDvfs(bool enabled = true)
+    {
+        dvfsEnabled = enabled;
+        return *this;
+    }
 };
 
 /**

@@ -8,53 +8,35 @@ void
 installGlanceScript(Device &device, const MitigationRunOptions &opt)
 {
     if (!opt.userGlances) return;
-    auto &sim = device.simulator();
-    auto &dms = device.server().displayManager();
-    auto &motion = device.motion();
-    sim::Time length = opt.glanceLength;
-    sim.schedulePeriodic(opt.glanceInterval, [&sim, &dms, &motion,
-                                              length] {
-        // Pick up the phone: motion, then screen for a moment.
-        motion.setStationary(false);
-        dms.userSetScreen(true);
-        sim.schedule(length, [&dms, &motion] {
-            dms.userSetScreen(false);
-            motion.setStationary(true);
-        });
-        return true;
-    });
+    installGlanceScript(device, opt.glanceInterval, opt.glanceLength);
+}
+
+RunSpec
+mitigationCellSpec(const apps::BuggyAppSpec &spec, MitigationMode mode,
+                   const MitigationRunOptions &opt)
+{
+    RunSpec run;
+    run.name = spec.display + std::string(" / ") + mitigationModeName(mode);
+    run.config = DeviceConfig{}
+                     .withMode(mode)
+                     .withProfile(opt.profile)
+                     .withSeed(opt.seed);
+    run.duration = opt.duration;
+    run.setup.push_back(spec.trigger);
+    run.apps.push_back(spec.install);
+    if (opt.userGlances) {
+        run.userGlances = true;
+        run.glanceInterval = opt.glanceInterval;
+        run.glanceLength = opt.glanceLength;
+    }
+    return run;
 }
 
 MitigationRunResult
 runMitigationCell(const apps::BuggyAppSpec &spec, MitigationMode mode,
                   const MitigationRunOptions &opt)
 {
-    DeviceConfig cfg;
-    cfg.mode = mode;
-    cfg.profile = opt.profile;
-    cfg.seed = opt.seed;
-    Device device(cfg);
-
-    spec.trigger(device);
-    app::App &app = spec.install(device);
-    installGlanceScript(device, opt);
-
-    MitigationRunResult result;
-    if (device.leaseos()) {
-        device.leaseos()->manager().setTermObserver(
-            [&result](const lease::Lease &, const lease::TermRecord &rec) {
-                ++result.behaviorCounts[rec.behavior];
-            });
-    }
-
-    device.start();
-    device.runFor(opt.duration);
-
-    result.appPowerMw = device.appPowerMw(app.uid());
-    result.systemPowerMw = device.profiler().averageTotalPowerMw();
-    if (device.leaseos())
-        result.deferrals = device.leaseos()->manager().totalDeferrals();
-    return result;
+    return runScenario(mitigationCellSpec(spec, mode, opt));
 }
 
 double

@@ -3,19 +3,18 @@
 
 /**
  * @file
- * Experiment runners shared by the bench binaries and integration tests.
+ * Legacy Table-5 cell runner, kept as a thin shim over the generic
+ * scenario-run API in harness/runner.h.
  *
- * The central one reproduces a Table 5 cell: run one buggy app for 30
- * minutes under a mitigation mode on a Pixel XL, sampling power every
- * 100 ms, with a background "lightly attended device" script (occasional
- * glances / pocket movement) that gives Doze its realistic interruptions.
+ * New code should build RunSpecs (and sweep them with ParallelRunner)
+ * directly; this header remains so older benches and tests keep their
+ * one-call entry point: run one buggy app for 30 minutes under a
+ * mitigation mode on a Pixel XL, sampling power every 100 ms, with a
+ * background "lightly attended device" script (occasional glances /
+ * pocket movement) that gives Doze its realistic interruptions.
  */
 
-#include <map>
-#include <string>
-
-#include "harness/device.h"
-#include "lease/behavior.h"
+#include "harness/runner.h"
 #include "sim/time.h"
 
 namespace leaseos::apps {
@@ -24,13 +23,8 @@ struct BuggyAppSpec;
 
 namespace leaseos::harness {
 
-/** Outcome of one mitigation run. */
-struct MitigationRunResult {
-    double appPowerMw = 0.0;
-    double systemPowerMw = 0.0;
-    std::map<lease::BehaviorType, std::uint64_t> behaviorCounts;
-    std::uint64_t deferrals = 0;
-};
+/** Outcome of one mitigation run (the generic scenario result). */
+using MitigationRunResult = RunResult;
 
 /** Options for a Table 5 cell run. */
 struct MitigationRunOptions {
@@ -52,7 +46,16 @@ struct MitigationRunOptions {
  */
 void installGlanceScript(Device &device, const MitigationRunOptions &opt);
 
-/** Run one buggy-app × mitigation-mode cell. */
+/**
+ * Build the RunSpec for one buggy-app × mitigation-mode Table 5 cell
+ * (what runMitigationCell executes; benches feed these to a
+ * ParallelRunner instead).
+ */
+RunSpec mitigationCellSpec(const apps::BuggyAppSpec &spec,
+                           MitigationMode mode,
+                           const MitigationRunOptions &opt = {});
+
+/** Run one buggy-app × mitigation-mode cell (shim over runScenario). */
 MitigationRunResult runMitigationCell(const apps::BuggyAppSpec &spec,
                                       MitigationMode mode,
                                       const MitigationRunOptions &opt = {});

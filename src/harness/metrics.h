@@ -49,13 +49,10 @@ class MetricsSampler
     void
     start()
     {
-        sim_.schedulePeriodic(period_, [this] {
-            sample();
-            return running_;
-        });
+        tick_ = sim_.schedulePeriodicScoped(period_, [this] { sample(); });
     }
 
-    void stop() { running_ = false; }
+    void stop() { tick_.cancel(); }
 
     const sim::TimeSeries &
     series(const std::string &name) const
@@ -78,7 +75,7 @@ class MetricsSampler
 
     sim::Simulator &sim_;
     sim::Time period_;
-    bool running_ = true;
+    sim::PeriodicHandle tick_;
     std::map<std::string, std::function<double()>> gauges_;
     std::map<std::string, std::function<double()>> deltas_;
     std::map<std::string, double> last_;

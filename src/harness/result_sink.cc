@@ -1,0 +1,167 @@
+#include "harness/result_sink.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "harness/csv_export.h"
+#include "harness/figure.h"
+#include "harness/table.h"
+
+namespace leaseos::harness {
+
+std::string
+ResultSink::Value::toText() const
+{
+    switch (kind) {
+      case Kind::Text: return text;
+      case Kind::Number: return TextTable::fmt(number, precision);
+      case Kind::Integer: return std::to_string(integer);
+    }
+    return {};
+}
+
+std::string
+ResultSink::Value::toJson() const
+{
+    switch (kind) {
+      case Kind::Text: return "\"" + jsonEscape(text) + "\"";
+      case Kind::Number:
+        if (!std::isfinite(number)) return "null";
+        return TextTable::fmt(number, precision);
+      case Kind::Integer: return std::to_string(integer);
+    }
+    return "null";
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+benchArtifactPath(const std::string &benchName)
+{
+    std::string file = "BENCH_" + benchName + ".json";
+    std::string dir = csvOutputDir();
+    return dir.empty() ? file : dir + "/" + file;
+}
+
+// ---- TextTableSink ------------------------------------------------------
+
+TextTableSink::TextTableSink(std::ostream &out) : out_(out) {}
+
+TextTableSink::TextTableSink() : out_(std::cout) {}
+
+void
+TextTableSink::begin(const std::string &benchId, const std::string &caption)
+{
+    header_ = figureHeader(benchId, caption);
+}
+
+void
+TextTableSink::addRow(const Row &row)
+{
+    if (headers_.empty())
+        for (const auto &[key, value] : row) headers_.push_back(key);
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const auto &[key, value] : row) cells.push_back(value.toText());
+    rows_.emplace_back(false, std::move(cells));
+}
+
+void
+TextTableSink::addSeparator()
+{
+    rows_.emplace_back(true, std::vector<std::string>{});
+}
+
+void
+TextTableSink::finish()
+{
+    TextTable table(headers_);
+    for (auto &[separator, cells] : rows_) {
+        if (separator)
+            table.addSeparator();
+        else
+            table.addRow(cells);
+    }
+    out_ << header_ << table.toString();
+}
+
+// ---- JsonSink -----------------------------------------------------------
+
+JsonSink::JsonSink(std::string path) : path_(std::move(path)) {}
+
+void
+JsonSink::begin(const std::string &benchId, const std::string &caption)
+{
+    benchId_ = benchId;
+    caption_ = caption;
+}
+
+void
+JsonSink::addRow(const Row &row)
+{
+    rows_.push_back(row);
+}
+
+std::string
+JsonSink::document() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"bench\": \"" << jsonEscape(benchId_) << "\",\n";
+    os << "  \"caption\": \"" << jsonEscape(caption_) << "\",\n";
+    os << "  \"rows\": [\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        os << "    {";
+        const Row &row = rows_[r];
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i) os << ", ";
+            os << "\"" << jsonEscape(row[i].first)
+               << "\": " << row[i].second.toJson();
+        }
+        os << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+void
+JsonSink::finish()
+{
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+        std::cerr << "[result_sink] cannot write " << path_ << "\n";
+        return;
+    }
+    out << document();
+    std::cerr << "[result_sink] wrote " << path_ << "\n";
+}
+
+} // namespace leaseos::harness

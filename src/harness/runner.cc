@@ -1,0 +1,193 @@
+#include "harness/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace leaseos::harness {
+
+double
+RunResult::probe(const std::string &probeName) const
+{
+    for (const auto &[name_, value] : probes)
+        if (name_ == probeName) return value;
+    throw std::out_of_range("no probe named '" + probeName + "'");
+}
+
+void
+installGlanceScript(Device &device, sim::Time interval, sim::Time length)
+{
+    auto &sim = device.simulator();
+    auto &dms = device.server().displayManager();
+    auto &motion = device.motion();
+    sim.schedulePeriodic(interval, [&sim, &dms, &motion, length] {
+        // Pick up the phone: motion, then screen for a moment.
+        motion.setStationary(false);
+        dms.userSetScreen(true);
+        sim.schedule(length, [&dms, &motion] {
+            dms.userSetScreen(false);
+            motion.setStationary(true);
+        });
+        return true;
+    });
+}
+
+RunResult
+runScenario(const RunSpec &spec)
+{
+    Device device(spec.config);
+
+    for (const auto &fn : spec.setup) fn(device);
+
+    std::vector<Uid> uids;
+    uids.reserve(spec.apps.size());
+    for (const auto &installFn : spec.apps)
+        uids.push_back(installFn(device).uid());
+
+    if (spec.userGlances)
+        installGlanceScript(device, spec.glanceInterval, spec.glanceLength);
+
+    device.start();
+    for (const auto &fn : spec.postStart) fn(device);
+    device.runFor(spec.duration);
+
+    RunResult result;
+    result.name = spec.name;
+    result.seed = spec.config.seed;
+    if (!uids.empty()) result.appPowerMw = device.appPowerMw(uids.front());
+    for (Uid uid : uids)
+        result.perAppPowerMw.push_back(device.appPowerMw(uid));
+    result.systemPowerMw = device.profiler().averageTotalPowerMw();
+
+    if (auto *leaseos = device.leaseos()) {
+        auto &mgr = leaseos->manager();
+        result.deferrals = mgr.totalDeferrals();
+        result.termChecks = mgr.termChecks();
+        result.leasesCreated = mgr.totalCreated();
+        for (lease::BehaviorType b :
+             {lease::BehaviorType::Normal, lease::BehaviorType::FrequentAsk,
+              lease::BehaviorType::LongHolding,
+              lease::BehaviorType::LowUtility,
+              lease::BehaviorType::ExcessiveUse}) {
+            std::uint64_t n = mgr.behaviorCount(b);
+            if (n > 0) result.behaviorCounts[b] = n;
+        }
+    }
+
+    result.probes.reserve(spec.probes.size());
+    for (const auto &[name, fn] : spec.probes)
+        result.probes.emplace_back(name, fn(device));
+    return result;
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t baseSeed, std::uint64_t specIndex)
+{
+    // splitmix64: the recommended seeding mixer for mt19937-family
+    // engines; consecutive indices land in statistically independent
+    // streams.
+    std::uint64_t z = baseSeed + 0x9e3779b97f4a7c15ULL * (specIndex + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+int
+ParallelRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("LEASEOS_JOBS")) {
+        int n = std::atoi(env);
+        if (n > 0) return n;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+RunnerOptions
+ParallelRunner::parseArgs(int argc, char **argv)
+{
+    RunnerOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+            options.jobs = std::atoi(argv[i + 1]);
+            break;
+        }
+        if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            options.jobs = std::atoi(arg + 7);
+            break;
+        }
+        if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+            options.jobs = std::atoi(arg + 2);
+            break;
+        }
+    }
+    if (options.jobs < 0) options.jobs = 0;
+    return options;
+}
+
+ParallelRunner::ParallelRunner(RunnerOptions options)
+    : options_(options)
+{
+    jobs_ = options.jobs > 0 ? options.jobs : defaultJobs();
+}
+
+std::vector<RunResult>
+ParallelRunner::run(const std::vector<RunSpec> &specs,
+                    const std::function<void(const RunResult &)> &onResult)
+    const
+{
+    std::vector<RunResult> results(specs.size());
+    if (specs.empty()) return results;
+
+    // Work queue: a shared atomic cursor over the spec list. Each worker
+    // claims the next index, runs that spec on its own Device/Simulator,
+    // and writes into its private results slot — collection is ordered by
+    // construction, not by completion.
+    std::atomic<std::size_t> next{0};
+    std::mutex reportMutex;
+    std::exception_ptr firstError;
+
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= specs.size()) return;
+            try {
+                RunSpec spec = specs[i];
+                if (options_.baseSeed)
+                    spec.config.seed = deriveSeed(*options_.baseSeed, i);
+                RunResult r = runScenario(spec);
+                r.specIndex = i;
+                if (onResult) {
+                    std::lock_guard<std::mutex> lock(reportMutex);
+                    onResult(r);
+                }
+                results[i] = std::move(r);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(reportMutex);
+                if (!firstError) firstError = std::current_exception();
+            }
+        }
+    };
+
+    int pool = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(jobs_),
+                              specs.size()));
+    if (pool <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(pool));
+        for (int t = 0; t < pool; ++t) threads.emplace_back(worker);
+        for (auto &th : threads) th.join();
+    }
+    if (firstError) std::rethrow_exception(firstError);
+    return results;
+}
+
+} // namespace leaseos::harness

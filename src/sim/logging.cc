@@ -17,6 +17,7 @@ Logger::log(LogLevel level, Time now, const std::string &tag,
 {
     static const char *names[] = {"off", "E", "W", "I", "D", "T"};
     auto idx = static_cast<std::size_t>(level);
+    std::lock_guard<std::mutex> lock(emitMutex_);
     std::cerr << "[" << std::fixed << std::setprecision(3) << now.seconds()
               << "s][" << names[idx] << "][" << tag << "] " << message
               << "\n";

@@ -11,7 +11,9 @@
  * lease decisions and service state changes without printf scatter.
  */
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -23,15 +25,20 @@ enum class LogLevel { Off = 0, Error, Warn, Info, Debug, Trace };
 
 /**
  * Process-global logging configuration and sink.
+ *
+ * The logger is the one process-wide singleton the simulation touches, so
+ * it must stay safe when independent Devices run on worker threads
+ * (harness::ParallelRunner): the level is atomic and emission is
+ * serialised under a mutex so concurrent lines never interleave.
  */
 class Logger
 {
   public:
     static Logger &instance();
 
-    void setLevel(LogLevel level) { level_ = level; }
-    LogLevel level() const { return level_; }
-    bool enabled(LogLevel level) const { return level <= level_; }
+    void setLevel(LogLevel level) { level_.store(level); }
+    LogLevel level() const { return level_.load(); }
+    bool enabled(LogLevel level) const { return level <= level_.load(); }
 
     /** Emit one line. @p tag is the subsystem name. */
     void log(LogLevel level, Time now, const std::string &tag,
@@ -40,7 +47,8 @@ class Logger
   private:
     Logger() = default;
 
-    LogLevel level_ = LogLevel::Off;
+    std::atomic<LogLevel> level_ = LogLevel::Off;
+    std::mutex emitMutex_;
 };
 
 /** Stream-style log helper: LOG(sim, Info, "lease") << "created " << id; */

@@ -8,6 +8,12 @@
  * All stochastic behaviour (user interaction jitter, network latency,
  * environment flaps, the Fig. 12 random misbehaviour slices) draws from a
  * seeded RandomSource so that every experiment is exactly reproducible.
+ *
+ * Thread-safety: a RandomSource owns its engine outright (no global or
+ * thread-local state anywhere in this module), so each Device's stream is
+ * fully isolated. Never share one instance across concurrently running
+ * Devices — the engine mutates on every draw; give each run its own seed
+ * instead (see harness::deriveSeed).
  */
 
 #include <cstdint>

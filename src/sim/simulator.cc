@@ -5,6 +5,21 @@
 
 namespace leaseos::sim {
 
+void
+PeriodicHandle::cancel()
+{
+    if (!state_ || state_->stopped) return;
+    state_->stopped = true;
+    if (state_->sim) state_->sim->cancel(state_->current);
+}
+
+bool
+PeriodicHandle::active() const
+{
+    return state_ && !state_->stopped && state_->sim &&
+           state_->sim->pending(state_->current);
+}
+
 EventId
 Simulator::schedulePeriodic(Time period, std::function<bool()> cb)
 {
@@ -28,6 +43,38 @@ Simulator::schedulePeriodic(Time period, std::function<bool()> cb)
     rep->period = period;
     rep->cb = std::move(cb);
     return schedule(period, [rep] { rep->fire(); });
+}
+
+PeriodicHandle
+Simulator::schedulePeriodicScoped(Time period, std::function<void()> cb)
+{
+    // Like the legacy repeater, but the shared PeriodicState publishes the
+    // id of the pending occurrence so the handle can cancel the whole
+    // repetition at any point.
+    struct Repeater : std::enable_shared_from_this<Repeater> {
+        std::shared_ptr<detail::PeriodicState> state;
+        Time period;
+        std::function<void()> cb;
+
+        void
+        fire()
+        {
+            if (state->stopped) return;
+            cb();
+            if (state->stopped) return; // cb may have cancelled the handle
+            auto self = shared_from_this();
+            state->current =
+                state->sim->schedule(period, [self] { self->fire(); });
+        }
+    };
+    auto state = std::make_shared<detail::PeriodicState>();
+    state->sim = this;
+    auto rep = std::make_shared<Repeater>();
+    rep->state = state;
+    rep->period = period;
+    rep->cb = std::move(cb);
+    state->current = schedule(period, [rep] { rep->fire(); });
+    return PeriodicHandle(std::move(state));
 }
 
 Time

@@ -10,15 +10,72 @@
  * time only advances when the event at the head of the queue fires, so a
  * 30-minute experiment completes in milliseconds of wall time while
  * preserving exact timing relationships.
+ *
+ * Thread-safety: a Simulator (and everything scheduled on it) belongs to
+ * exactly one thread. Concurrency is achieved by running *independent*
+ * Simulator/Device instances on different threads (see harness/runner.h),
+ * never by sharing one instance.
  */
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <type_traits>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
 namespace leaseos::sim {
+
+class Simulator;
+
+namespace detail {
+/** Shared bookkeeping between a repeating event and its handle. */
+struct PeriodicState {
+    Simulator *sim = nullptr;
+    EventId current = kInvalidEventId;
+    bool stopped = false;
+};
+} // namespace detail
+
+/**
+ * RAII handle to a repeating event scheduled with schedulePeriodic().
+ *
+ * Destroying (or cancel()ing) the handle stops the repetition, including
+ * the occurrence currently pending in the queue — unlike the EventId
+ * returned by the legacy bool-callback overload, which only names one
+ * occurrence. Default-constructed handles are inert.
+ */
+class PeriodicHandle
+{
+  public:
+    PeriodicHandle() = default;
+    explicit PeriodicHandle(std::shared_ptr<detail::PeriodicState> state)
+        : state_(std::move(state)) {}
+    ~PeriodicHandle() { cancel(); }
+
+    PeriodicHandle(const PeriodicHandle &) = delete;
+    PeriodicHandle &operator=(const PeriodicHandle &) = delete;
+    PeriodicHandle(PeriodicHandle &&other) noexcept = default;
+    PeriodicHandle &
+    operator=(PeriodicHandle &&other) noexcept
+    {
+        if (this != &other) {
+            cancel();
+            state_ = std::move(other.state_);
+        }
+        return *this;
+    }
+
+    /** Stop the repetition. Safe to call repeatedly or on an inert handle. */
+    void cancel();
+
+    /** @return true while the repetition is still scheduled. */
+    bool active() const;
+
+  private:
+    std::shared_ptr<detail::PeriodicState> state_;
+};
 
 /**
  * Discrete-event simulation engine.
@@ -52,10 +109,31 @@ class Simulator
      * return false to stop the repetition.
      *
      * The returned id cancels only the *currently pending* occurrence; use
-     * the bool return from the callback for cooperative shutdown, or keep
-     * a PeriodicHandle.
+     * the bool return from the callback for cooperative shutdown, or prefer
+     * the void-callback overload below, whose PeriodicHandle cancels the
+     * whole repetition.
      */
     EventId schedulePeriodic(Time period, std::function<bool()> cb);
+
+    /**
+     * Schedule a repeating callback owned by the returned RAII handle:
+     * the repetition stops when the handle is cancelled or destroyed.
+     * Selected for callables returning void (no cooperative-stop channel
+     * needed — the handle is the stop channel).
+     */
+    template <typename F,
+              std::enable_if_t<
+                  std::is_void_v<std::invoke_result_t<F &>>, int> = 0>
+    [[nodiscard]] PeriodicHandle
+    schedulePeriodic(Time period, F cb)
+    {
+        return schedulePeriodicScoped(period,
+                                      std::function<void()>(std::move(cb)));
+    }
+
+    /** Non-template form of the RAII overload. */
+    [[nodiscard]] PeriodicHandle
+    schedulePeriodicScoped(Time period, std::function<void()> cb);
 
     /** Cancel a pending event. @retval true if it was still pending. */
     bool cancel(EventId id) { return queue_.cancel(id); }

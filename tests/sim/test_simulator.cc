@@ -119,6 +119,75 @@ TEST(SimulatorTest, PeriodicHonoursHorizon)
     EXPECT_EQ(count, 10);
 }
 
+TEST(PeriodicHandleTest, CancelStopsTheWholeRepetition)
+{
+    Simulator sim;
+    int count = 0;
+    PeriodicHandle handle =
+        sim.schedulePeriodic(1_s, [&] { ++count; });
+    EXPECT_TRUE(handle.active());
+    sim.run(3_s);
+    EXPECT_EQ(count, 3);
+    handle.cancel();
+    EXPECT_FALSE(handle.active());
+    sim.run(10_s);
+    EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicHandleTest, DestructionCancelsRaiiStyle)
+{
+    Simulator sim;
+    int count = 0;
+    {
+        PeriodicHandle handle =
+            sim.schedulePeriodic(1_s, [&] { ++count; });
+        sim.run(2_s);
+    }
+    sim.run(10_s);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicHandleTest, MoveTransfersOwnership)
+{
+    Simulator sim;
+    int count = 0;
+    PeriodicHandle a = sim.schedulePeriodic(1_s, [&] { ++count; });
+    PeriodicHandle b = std::move(a);
+    EXPECT_TRUE(b.active());
+    sim.run(2_s);
+    EXPECT_EQ(count, 2);
+    b.cancel();
+    sim.run(5_s);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicHandleTest, CallbackMayCancelItsOwnHandle)
+{
+    Simulator sim;
+    int count = 0;
+    PeriodicHandle handle;
+    handle = sim.schedulePeriodic(1_s, [&] {
+        if (++count == 3) handle.cancel();
+    });
+    sim.run();
+    EXPECT_EQ(count, 3);
+    EXPECT_FALSE(handle.active());
+}
+
+TEST(PeriodicHandleTest, BoolCallbackOverloadStillReturnsEventId)
+{
+    Simulator sim;
+    int count = 0;
+    // A bool-returning callback selects the legacy cooperative overload.
+    EventId id = sim.schedulePeriodic(1_s, [&] {
+        ++count;
+        return count < 2;
+    });
+    EXPECT_TRUE(sim.pending(id));
+    sim.run();
+    EXPECT_EQ(count, 2);
+}
+
 TEST(SimulatorTest, ExecutedEventsCounted)
 {
     Simulator sim;

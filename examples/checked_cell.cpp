@@ -1,0 +1,41 @@
+/**
+ * @file
+ * One Table-5 cell as a standalone run — the checked-mode CI target.
+ *
+ * Runs the Torch app (the cleanest Long-Holding row) under LeaseOS for a
+ * full 30-minute cell. Built with -DLEASEOS_CHECKED=ON this exercises the
+ * whole invariant oracle: every lease transition, every event dispatch,
+ * periodic lease-table/energy audits, and the teardown audit in the
+ * Device destructor. Any violation aborts with a structured diagnostic,
+ * so a zero exit code certifies the run was invariant-clean.
+ */
+
+#include <iostream>
+
+#include "apps/registry.h"
+#include "harness/experiment.h"
+
+using namespace leaseos;
+
+int
+main()
+{
+    const apps::BuggyAppSpec &spec = apps::buggySpec("torch");
+    harness::MitigationRunOptions opt; // 30 min, Pixel XL, user glances
+
+    harness::MitigationRunResult vanilla = harness::runMitigationCell(
+        spec, harness::MitigationMode::None, opt);
+    harness::MitigationRunResult leased = harness::runMitigationCell(
+        spec, harness::MitigationMode::LeaseOS, opt);
+
+    std::cout << spec.display << ": " << vanilla.appPowerMw
+              << " mW without leases, " << leased.appPowerMw
+              << " mW under LeaseOS\n";
+#if defined(LEASEOS_CHECKED)
+    std::cout << "invariant oracle: enabled, no violations\n";
+#else
+    std::cout << "invariant oracle: disabled "
+                 "(rebuild with -DLEASEOS_CHECKED=ON)\n";
+#endif
+    return 0;
+}

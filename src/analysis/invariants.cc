@@ -1,0 +1,264 @@
+#include "analysis/invariants.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "lease/lease_table.h"
+#include "os/binder.h"
+#include "os/system_server.h"
+#include "power/battery.h"
+#include "power/energy_accountant.h"
+#include "sim/simulator.h"
+
+namespace leaseos::analysis {
+
+namespace {
+
+/** The thread's hook target (one Simulator/Device per thread). */
+thread_local InvariantOracle *g_current = nullptr;
+
+bool
+relativeClose(double a, double b, double tolerance)
+{
+    double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+    return std::fabs(a - b) <= tolerance * scale;
+}
+
+} // namespace
+
+std::string
+Violation::toString() const
+{
+    std::ostringstream out;
+    out << "[leaseos-invariant] t=" << simTime.seconds() << "s";
+    if (leaseId != lease::kInvalidLeaseId) out << " lease=" << leaseId;
+    out << " check=" << check << ": " << detail;
+    return out.str();
+}
+
+InvariantOracle::InvariantOracle(FailMode mode) : mode_(mode) {}
+
+InvariantOracle::~InvariantOracle()
+{
+    if (installed_) uninstall();
+}
+
+void
+InvariantOracle::install()
+{
+    if (installed_) return;
+    previous_ = g_current;
+    g_current = this;
+    installed_ = true;
+}
+
+void
+InvariantOracle::uninstall()
+{
+    if (!installed_) return;
+    if (g_current == this) {
+        g_current = previous_;
+    } else {
+        // Destroyed out of stack order (two devices on one thread torn
+        // down in construction order): unlink from the chain instead.
+        for (InvariantOracle *o = g_current; o; o = o->previous_) {
+            if (o->previous_ == this) {
+                o->previous_ = previous_;
+                break;
+            }
+        }
+    }
+    previous_ = nullptr;
+    installed_ = false;
+}
+
+InvariantOracle *
+InvariantOracle::current()
+{
+    return g_current;
+}
+
+bool
+InvariantOracle::legalTransition(lease::LeaseState from, lease::LeaseState to)
+{
+    using lease::LeaseState;
+    if (to == LeaseState::Dead) return from != LeaseState::Dead;
+    switch (from) {
+      case LeaseState::Active:
+        return to == LeaseState::Inactive || to == LeaseState::Deferred;
+      case LeaseState::Inactive:
+        return to == LeaseState::Active;
+      case LeaseState::Deferred:
+        return to == LeaseState::Active || to == LeaseState::Inactive;
+      case LeaseState::Dead:
+        return false; // DEAD is terminal
+    }
+    return false;
+}
+
+void
+InvariantOracle::noteLeaseTransition(sim::Time now, lease::LeaseId id,
+                                     lease::LeaseState from,
+                                     lease::LeaseState to)
+{
+    if (legalTransition(from, to)) return;
+    std::ostringstream detail;
+    detail << "illegal transition " << lease::leaseStateName(from) << " -> "
+           << lease::leaseStateName(to)
+           << " (not in the Fig. 5 transition relation)";
+    report({"state-machine", now, id, detail.str()});
+}
+
+void
+InvariantOracle::noteEventDispatch(sim::Time now, sim::Time eventTime)
+{
+    if (eventTime >= now) return;
+    std::ostringstream detail;
+    detail << "event scheduled for t=" << eventTime.seconds()
+           << "s dispatched after virtual time already reached t="
+           << now.seconds() << "s (clock ran backwards)";
+    report({"time-monotonicity", now, lease::kInvalidLeaseId, detail.str()});
+}
+
+void
+InvariantOracle::auditLeaseTable(const sim::Simulator &sim,
+                                 const lease::LeaseTable &table,
+                                 const os::TokenAllocator &tokens)
+{
+    using lease::LeaseState;
+    for (const lease::Lease *l : table.all()) {
+        if (l->state == LeaseState::Dead) {
+            // remove() reaps dead leases synchronously; one lingering in
+            // the table means the reap path was bypassed.
+            report({"lease-table", sim.now(), l->id,
+                    "DEAD lease still present in the lease table"});
+            continue;
+        }
+        if (!tokens.live(l->token)) {
+            std::ostringstream detail;
+            detail << lease::leaseStateName(l->state)
+                   << " lease maps to token " << l->token
+                   << " whose kernel object is no longer live";
+            report({"lease-table", sim.now(), l->id, detail.str()});
+        }
+        bool armed = l->pendingEvent != sim::kInvalidEventId &&
+                     sim.pending(l->pendingEvent);
+        if (l->state == LeaseState::Active ||
+            l->state == LeaseState::Deferred) {
+            if (!armed) {
+                std::ostringstream detail;
+                detail << lease::leaseStateName(l->state)
+                       << " lease has no pending "
+                       << (l->state == LeaseState::Active ? "term-end"
+                                                          : "deferral-end")
+                       << " event armed";
+                report({"lease-table", sim.now(), l->id, detail.str()});
+            }
+        } else if (armed) {
+            report({"lease-table", sim.now(), l->id,
+                    "INACTIVE lease still has a timer event armed"});
+        }
+    }
+}
+
+void
+InvariantOracle::auditEnergy(sim::Time now,
+                             power::EnergyAccountant &accountant,
+                             power::Battery &battery, double tolerance)
+{
+    double total = accountant.totalEnergyMj();
+
+    double uidSum = 0.0;
+    for (Uid uid : accountant.knownUids())
+        uidSum += accountant.uidEnergyMj(uid);
+    if (!relativeClose(uidSum, total, tolerance)) {
+        std::ostringstream detail;
+        detail << "per-uid energy sums to " << uidSum
+               << " mJ but the accountant total is " << total << " mJ";
+        report({"energy-conservation", now, lease::kInvalidLeaseId,
+                detail.str()});
+    }
+
+    double channelSum = 0.0;
+    for (power::ChannelId ch = 0; ch < accountant.channelCount(); ++ch) {
+        double chMj = accountant.channelEnergyMj(ch);
+        channelSum += chMj;
+        double chUidSum = 0.0;
+        for (Uid uid : accountant.knownUids())
+            chUidSum += accountant.uidChannelEnergyMj(uid, ch);
+        if (!relativeClose(chUidSum, chMj, tolerance)) {
+            std::ostringstream detail;
+            detail << "channel '" << accountant.channelName(ch)
+                   << "' integrates " << chMj
+                   << " mJ but its per-uid shares sum to " << chUidSum
+                   << " mJ";
+            report({"energy-conservation", now, lease::kInvalidLeaseId,
+                    detail.str()});
+        }
+    }
+    if (!relativeClose(channelSum, total, tolerance)) {
+        std::ostringstream detail;
+        detail << "per-channel energy sums to " << channelSum
+               << " mJ but the accountant total is " << total << " mJ";
+        report({"energy-conservation", now, lease::kInvalidLeaseId,
+                detail.str()});
+    }
+
+    double drained = battery.drainedMj();
+    // recharge() rebases the drain, so drained <= total always; negative
+    // drain would mean energy flowed back out of the components.
+    if (drained < -tolerance * std::max(total, 1.0) ||
+        drained > total + tolerance * std::max(total, 1.0)) {
+        std::ostringstream detail;
+        detail << "battery drain " << drained
+               << " mJ outside [0, total=" << total << " mJ]";
+        report({"energy-conservation", now, lease::kInvalidLeaseId,
+                detail.str()});
+    }
+}
+
+void
+InvariantOracle::checkAppTeardown(sim::Time now, os::SystemServer &server,
+                                  Uid uid)
+{
+    for (os::TokenId token : server.powerManager().heldTokens(uid)) {
+        std::ostringstream detail;
+        detail << "app uid " << uid << " stopped while wakelock token "
+               << token << " ('" << server.powerManager().tagOf(token)
+               << "') is still held";
+        report({"teardown-balance", now, lease::kInvalidLeaseId,
+                detail.str()});
+    }
+    for (os::TokenId token : server.locationManager().activeRequests(uid)) {
+        std::ostringstream detail;
+        detail << "app uid " << uid
+               << " stopped while GPS update request token " << token
+               << " is still outstanding";
+        report({"teardown-balance", now, lease::kInvalidLeaseId,
+                detail.str()});
+    }
+    for (os::TokenId token :
+         server.sensorManager().activeRegistrations(uid)) {
+        std::ostringstream detail;
+        detail << "app uid " << uid
+               << " stopped while sensor listener token " << token
+               << " is still registered";
+        report({"teardown-balance", now, lease::kInvalidLeaseId,
+                detail.str()});
+    }
+}
+
+void
+InvariantOracle::report(Violation violation)
+{
+    if (mode_ == FailMode::Abort) {
+        std::fprintf(stderr, "%s\n", violation.toString().c_str());
+        std::fflush(stderr);
+        std::abort();
+    }
+    violations_.push_back(std::move(violation));
+}
+
+} // namespace leaseos::analysis

@@ -1,5 +1,16 @@
 #include "app/app.h"
 
-// App is header-only; this TU anchors the module in the build.
+#include "analysis/invariants.h"
+
 namespace leaseos::app {
+
+void
+App::stop()
+{
+    // Runs after the subclass released/destroyed its resource handles, so
+    // anything still held here is a genuine acquire/release imbalance.
+    LEASEOS_ORACLE(checkAppTeardown(ctx_.sim.now(), ctx_.server, uid()));
+    process_.kill();
+}
+
 } // namespace leaseos::app

@@ -38,8 +38,13 @@ class App
     /** Install the app's behaviour into the simulation. */
     virtual void start() = 0;
 
-    /** Graceful stop; default kills the process. */
-    virtual void stop() { process_.kill(); }
+    /**
+     * Graceful stop; default kills the process. Subclasses release their
+     * resources first and call App::stop() last — in checked builds that
+     * is where the teardown-balance invariant fires (an app must not exit
+     * while it still holds wakelocks, GPS requests, or sensor listeners).
+     */
+    virtual void stop();
 
     Uid uid() const { return process_.uid(); }
     const std::string &name() const { return name_; }

@@ -28,7 +28,8 @@ class Facebook : public app::App
     {
         lock_ = ctx_.powerManager().newWakeLock(
             uid(), os::WakeLockType::Partial, "fb:session");
-        ctx_.powerManager().acquire(lock_); // never released
+        // leaselint: allow(pairing) -- modelled defect: never released
+        ctx_.powerManager().acquire(lock_);
         poll();
     }
 

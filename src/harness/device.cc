@@ -92,9 +92,24 @@ Device::Device(DeviceConfig config)
         sim_, *cpu_, *server_, *network_, *gpsEnv_, *motion_, *user_,
         rng_, config_.profile,
         leaseos_ ? &leaseos_->manager() : nullptr});
+
+#if defined(LEASEOS_CHECKED)
+    if (config_.checkedOracle) {
+        oracle_ = std::make_unique<analysis::InvariantOracle>(
+            analysis::InvariantOracle::FailMode::Abort);
+        oracle_->install();
+    }
+#endif
 }
 
-Device::~Device() = default;
+Device::~Device()
+{
+    if (oracle_) {
+        // Last chance to catch drift the periodic audit missed.
+        auditInvariants(*oracle_);
+        oracle_->uninstall();
+    }
+}
 
 void
 Device::start()
@@ -106,6 +121,21 @@ Device::start()
     if (defdroid_) defdroid_->start();
     if (throttler_) throttler_->start();
     for (auto &app : apps_) app->start();
+    if (oracle_) {
+        auditTick_ = sim_.schedulePeriodicScoped(
+            config_.checkedAuditPeriod,
+            [this] { auditInvariants(*oracle_); });
+    }
+}
+
+void
+Device::auditInvariants(analysis::InvariantOracle &oracle)
+{
+    oracle.auditEnergy(sim_.now(), *accountant_, *battery_);
+    if (leaseos_) {
+        oracle.auditLeaseTable(sim_, leaseos_->manager().table(),
+                               server_->tokens());
+    }
 }
 
 } // namespace leaseos::harness

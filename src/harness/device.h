@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/invariants.h"
 #include "app/app.h"
 #include "app/app_context.h"
 #include "env/gps_environment.h"
@@ -73,6 +74,18 @@ struct DeviceConfig {
      * assumes constant frequency.
      */
     bool dvfsEnabled = false;
+    /**
+     * Period of the lease-table / energy-conservation audits in checked
+     * builds (-DLEASEOS_CHECKED=ON). Ignored in normal builds.
+     */
+    sim::Time checkedAuditPeriod = sim::Time::fromSeconds(10.0);
+    /**
+     * Whether the device installs its own Abort-mode oracle in checked
+     * builds. Negative tests that deliberately corrupt device state turn
+     * this off so only their Record-mode oracle sees the violation.
+     * Ignored in normal builds.
+     */
+    bool checkedOracle = true;
 
     // ---- Fluent builders -----------------------------------------------
 
@@ -136,6 +149,18 @@ struct DeviceConfig {
     withDvfs(bool enabled = true)
     {
         dvfsEnabled = enabled;
+        return *this;
+    }
+    DeviceConfig &
+    withCheckedAuditPeriod(sim::Time period)
+    {
+        checkedAuditPeriod = period;
+        return *this;
+    }
+    DeviceConfig &
+    withCheckedOracle(bool enabled)
+    {
+        checkedOracle = enabled;
         return *this;
     }
 };
@@ -209,6 +234,14 @@ class Device
     /** Average power attributed to @p uid since profiling began (mW). */
     double appPowerMw(Uid uid) { return profiler_->averageUidPowerMw(uid); }
 
+    /**
+     * Run the pull-style invariant audits (lease table ↔ binder, energy
+     * conservation) against @p oracle now. Checked builds call this
+     * periodically and at teardown through the device's own oracle; tests
+     * can call it directly with a Record-mode oracle in any build.
+     */
+    void auditInvariants(analysis::InvariantOracle &oracle);
+
   private:
     DeviceConfig config_;
     sim::Simulator sim_;
@@ -239,6 +272,10 @@ class Device
     std::vector<std::unique_ptr<app::App>> apps_;
     Uid nextUid_ = kFirstAppUid;
     bool started_ = false;
+
+    /** Only set in checked builds (LEASEOS_CHECKED). */
+    std::unique_ptr<analysis::InvariantOracle> oracle_;
+    sim::PeriodicHandle auditTick_;
 };
 
 } // namespace leaseos::harness

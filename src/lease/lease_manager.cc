@@ -1,5 +1,6 @@
 #include "lease/lease_manager.h"
 
+#include "analysis/invariants.h"
 #include "lease/utility/generic_utility.h"
 #include "sim/logging.h"
 
@@ -107,6 +108,9 @@ LeaseManagerService::renew(LeaseId id)
         return false;
     }
     if (lease->state == LeaseState::Inactive) {
+        LEASEOS_ORACLE(noteLeaseTransition(sim_.now(), lease->id,
+                                           lease->state,
+                                           LeaseState::Active));
         lease->state = LeaseState::Active;
         ++lease->termIndex;
         ++totalRenewals_;
@@ -124,6 +128,8 @@ LeaseManagerService::remove(LeaseId id)
         sim_.cancel(lease->pendingEvent);
         lease->pendingEvent = sim::kInvalidEventId;
     }
+    LEASEOS_ORACLE(noteLeaseTransition(sim_.now(), lease->id, lease->state,
+                                       LeaseState::Dead));
     lease->state = LeaseState::Dead;
     recordDeath(*lease);
     table_.reap(id);
@@ -207,6 +213,9 @@ LeaseManagerService::onTermEnd(LeaseId id)
     }
 
     if (!proxy->resourceHeld(*lease)) {
+        LEASEOS_ORACLE(noteLeaseTransition(sim_.now(), lease->id,
+                                           lease->state,
+                                           LeaseState::Inactive));
         lease->state = LeaseState::Inactive;
         return;
     }
@@ -273,6 +282,9 @@ LeaseManagerService::onTermEnd(LeaseId id)
         LEASE_LOG(sim_) << "lease " << lease->id << " DEFERRED for "
                         << tau.toString() << " (offence #"
                         << lease->consecutiveMisbehaved << ")";
+        LEASEOS_ORACLE(noteLeaseTransition(sim_.now(), lease->id,
+                                           lease->state,
+                                           LeaseState::Deferred));
         lease->state = LeaseState::Deferred;
         ++lease->deferrals;
         ++totalDeferrals_;
@@ -305,6 +317,9 @@ LeaseManagerService::onDeferralEnd(LeaseId id)
     if (proxy && proxy->resourceHeld(*lease)) {
         LEASE_LOG(sim_) << "lease " << lease->id
                         << " restored to ACTIVE after deferral";
+        LEASEOS_ORACLE(noteLeaseTransition(sim_.now(), lease->id,
+                                           lease->state,
+                                           LeaseState::Active));
         lease->state = LeaseState::Active;
         ++lease->termIndex;
         ++totalRenewals_;
@@ -312,6 +327,9 @@ LeaseManagerService::onDeferralEnd(LeaseId id)
         startTerm(*lease, policy_.initialTerm);
     } else {
         // The app released the resource during τ.
+        LEASEOS_ORACLE(noteLeaseTransition(sim_.now(), lease->id,
+                                           lease->state,
+                                           LeaseState::Inactive));
         lease->state = LeaseState::Inactive;
     }
 }

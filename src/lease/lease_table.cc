@@ -55,6 +55,15 @@ LeaseTable::all()
     return out;
 }
 
+std::vector<const Lease *>
+LeaseTable::all() const
+{
+    std::vector<const Lease *> out;
+    out.reserve(leases_.size());
+    for (const auto &[id, lease] : leases_) out.push_back(lease.get());
+    return out;
+}
+
 std::size_t
 LeaseTable::countInState(LeaseState state) const
 {

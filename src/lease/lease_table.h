@@ -38,6 +38,7 @@ class LeaseTable
 
     /** Snapshot of live lease pointers (stable until next mutation). */
     std::vector<Lease *> all();
+    std::vector<const Lease *> all() const;
 
     /** Number of leases in a given state right now. */
     std::size_t countInState(LeaseState state) const;

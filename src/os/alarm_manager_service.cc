@@ -33,6 +33,7 @@ AlarmManagerService::cancelAlarm(TokenId token)
     if (it == alarms_.end()) return;
     sim_.cancel(it->second.event);
     alarms_.erase(it);
+    tokens_.retire(token);
 }
 
 void
@@ -61,11 +62,13 @@ AlarmManagerService::fire(TokenId token)
         cpu_.addWakeWindow(kWakeWindow);
         auto cb = std::move(alarm.callback);
         alarms_.erase(it);
+        tokens_.retire(token);
         // Run the app callback once the wake transition has completed.
         sim_.schedule(sim::Time::zero(), std::move(cb));
     } else {
         auto cb = std::move(alarm.callback);
         alarms_.erase(it);
+        tokens_.retire(token);
         cpu_.notifyOnWake(std::move(cb));
     }
 }

@@ -122,6 +122,7 @@ AudioSessionService::destroy(TokenId token)
     advance();
     Uid uid = it->second.uid;
     sessions_.erase(it);
+    tokens_.retire(token);
     apply();
     for (auto *l : listeners_) l->onDestroyed(token, uid);
 }

@@ -14,6 +14,7 @@
  */
 
 #include <cstdint>
+#include <set>
 
 #include "common/ids.h"
 #include "sim/time.h"
@@ -40,14 +41,34 @@ constexpr sim::Time kResourceIpcLatency = sim::Time::fromMillis(2);
 
 /**
  * Monotonically increasing token id allocator (one per device).
+ *
+ * Doubles as the kernel-object registry: services register every token
+ * they mint and retire it when the kernel object dies, so the checked-mode
+ * invariant oracle can ask whether a lease still maps to a live object
+ * (lease-table ↔ binder consistency, §4.3).
  */
 class TokenAllocator
 {
   public:
-    TokenId next() { return next_++; }
+    TokenId
+    next()
+    {
+        TokenId id = next_++;
+        live_.insert(id);
+        return id;
+    }
+
+    /** Mark a kernel object dead (called from service destroy paths). */
+    void retire(TokenId id) { live_.erase(id); }
+
+    /** @return true while @p id names a live kernel object. */
+    bool live(TokenId id) const { return live_.count(id) != 0; }
+
+    std::size_t liveCount() const { return live_.size(); }
 
   private:
     TokenId next_ = 1;
+    std::set<TokenId> live_;
 };
 
 } // namespace leaseos::os

@@ -102,6 +102,7 @@ BluetoothService::destroy(TokenId token)
     if (it == scans_.end()) return;
     Uid uid = it->second.uid;
     scans_.erase(it);
+    tokens_.retire(token);
     apply();
     for (auto *l : listeners_) l->onDestroyed(token, uid);
 }

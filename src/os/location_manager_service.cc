@@ -133,6 +133,7 @@ LocationManagerService::destroy(TokenId token)
     advance();
     Uid uid = it->second.uid;
     requests_.erase(it);
+    tokens_.retire(token);
     apply();
     for (auto *l : listeners_) l->onDestroyed(token, uid);
 }
@@ -241,6 +242,15 @@ LocationManagerService::ownerOf(TokenId token) const
 {
     auto it = requests_.find(token);
     return it == requests_.end() ? kInvalidUid : it->second.uid;
+}
+
+std::vector<TokenId>
+LocationManagerService::activeRequests(Uid uid) const
+{
+    std::vector<TokenId> active;
+    for (const auto &[token, request] : requests_)
+        if (request.uid == uid && request.active) active.push_back(token);
+    return active;
 }
 
 } // namespace leaseos::os

@@ -94,6 +94,9 @@ class LocationManagerService : public Service
     Uid ownerOf(TokenId token) const;
     bool hasFix() const { return gps_.hasFix(); }
 
+    /** Update requests @p uid still has outstanding (not removed). */
+    std::vector<TokenId> activeRequests(Uid uid) const;
+
   private:
     struct Request {
         Uid uid = kInvalidUid;

@@ -118,6 +118,7 @@ PowerManagerService::destroy(TokenId token)
     advance();
     Uid uid = it->second.uid;
     locks_.erase(it);
+    tokens_.retire(token);
     apply();
     for (auto *l : listeners_) l->onDestroyed(token, uid);
 }
@@ -260,6 +261,15 @@ PowerManagerService::enabledOwners() const
     for (const auto &[token, lock] : locks_)
         if (lock.enabled) owners.insert(lock.uid);
     return {owners.begin(), owners.end()};
+}
+
+std::vector<TokenId>
+PowerManagerService::heldTokens(Uid uid) const
+{
+    std::vector<TokenId> held;
+    for (const auto &[token, lock] : locks_)
+        if (lock.uid == uid && lock.held) held.push_back(token);
+    return held;
 }
 
 Uid

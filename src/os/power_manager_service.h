@@ -112,6 +112,9 @@ class PowerManagerService : public Service
     /** Uids with at least one enabled partial or full lock. */
     std::vector<Uid> enabledOwners() const;
 
+    /** Tokens @p uid currently holds (acquired, not released/destroyed). */
+    std::vector<TokenId> heldTokens(Uid uid) const;
+
     Uid ownerOf(TokenId token) const;
     const std::string &tagOf(TokenId token) const;
     WakeLockType typeOf(TokenId token) const;

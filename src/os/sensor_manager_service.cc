@@ -134,6 +134,7 @@ SensorManagerService::destroy(TokenId token)
     advance();
     Uid uid = it->second.uid;
     regs_.erase(it);
+    tokens_.retire(token);
     apply();
     for (auto *l : listeners_) l->onDestroyed(token, uid);
 }
@@ -220,6 +221,15 @@ SensorManagerService::ownerOf(TokenId token) const
 {
     auto it = regs_.find(token);
     return it == regs_.end() ? kInvalidUid : it->second.uid;
+}
+
+std::vector<TokenId>
+SensorManagerService::activeRegistrations(Uid uid) const
+{
+    std::vector<TokenId> active;
+    for (const auto &[token, reg] : regs_)
+        if (reg.uid == uid && reg.active) active.push_back(token);
+    return active;
 }
 
 } // namespace leaseos::os

@@ -72,6 +72,9 @@ class SensorManagerService : public Service
     std::uint64_t eventCount(Uid uid) const;
     Uid ownerOf(TokenId token) const;
 
+    /** Listener registrations @p uid still has active (not unregistered). */
+    std::vector<TokenId> activeRegistrations(Uid uid) const;
+
   private:
     struct Registration {
         Uid uid = kInvalidUid;

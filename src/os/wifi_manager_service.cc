@@ -97,6 +97,7 @@ WifiManagerService::destroy(TokenId token)
     advance();
     Uid uid = it->second.uid;
     locks_.erase(it);
+    tokens_.retire(token);
     apply();
     for (auto *l : listeners_) l->onDestroyed(token, uid);
 }

@@ -93,6 +93,15 @@ class EventQueue
     void skipDead();
 
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /**
+     * Ids of scheduled-and-not-yet-fired/cancelled events. Audited for
+     * iteration-order leakage: the set is membership-only (count / erase /
+     * empty / size) and is never iterated, so its unspecified order cannot
+     * reach event ordering, metrics, or sink output. Keep it that way — an
+     * ordered alternative would put an O(log n) lookup on the hot path of
+     * every schedule/cancel/pop.
+     */
+    // leaselint: allow(determinism) -- membership-only set, never iterated
     std::unordered_set<EventId> live_;
     std::uint64_t nextSeq_ = 0;
     EventId nextId_ = 1;

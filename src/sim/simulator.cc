@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "analysis/invariants.h"
+
 namespace leaseos::sim {
 
 void
@@ -87,6 +89,7 @@ Simulator::run(Time until)
             return now_;
         }
         auto [when, cb] = queue_.pop();
+        LEASEOS_ORACLE(noteEventDispatch(now_, when));
         now_ = when;
         ++executed_;
         cb();

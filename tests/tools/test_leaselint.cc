@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Unit tests for the leaselint static-analysis rules (tools/leaselint).
+ *
+ * Each rule gets a positive case (the hazard is flagged), a negative case
+ * (clean code passes), and a suppression case (an inline
+ * `// leaselint: allow(<rule>)` silences the finding but counts it as
+ * suppressed).
+ */
+
+#include <gtest/gtest.h>
+
+#include "leaselint/driver.h"
+#include "leaselint/rules.h"
+#include "leaselint/source.h"
+
+namespace leaselint {
+namespace {
+
+std::vector<std::unique_ptr<Rule>>
+only(std::unique_ptr<Rule> rule)
+{
+    std::vector<std::unique_ptr<Rule>> rules;
+    rules.push_back(std::move(rule));
+    return rules;
+}
+
+LintReport
+lintOne(const std::string &path, const std::string &text,
+        std::unique_ptr<Rule> rule)
+{
+    std::vector<SourceFile> files;
+    files.push_back(SourceFile::fromString(path, text));
+    return runLint(files, only(std::move(rule)));
+}
+
+// ---- SourceFile primitives --------------------------------------------------
+
+TEST(SourceFile, BlanksCommentsAndStrings)
+{
+    SourceFile f = SourceFile::fromString("src/a.cc",
+                                          "int x; // rand() here\n"
+                                          "const char *s = \"rand()\";\n"
+                                          "/* rand()\n   rand() */\n"
+                                          "int y = rand();\n");
+    EXPECT_EQ(findToken(f.codeText(), "rand", 0) != std::string::npos, true);
+    // Only the real call on line 5 survives blanking.
+    std::size_t pos = findToken(f.codeText(), "rand", 0);
+    EXPECT_EQ(f.lineOfOffset(pos), 5u);
+}
+
+TEST(SourceFile, TokenMatchingRespectsIdentifierBoundaries)
+{
+    // "srand" and "randomize" must not match the token "rand".
+    EXPECT_EQ(findToken("srand(1); randomize();", "rand", 0),
+              std::string::npos);
+    EXPECT_NE(findToken("x = rand();", "rand", 0), std::string::npos);
+}
+
+TEST(SourceFile, AllowAppliesToItsLineAndTheNext)
+{
+    SourceFile f = SourceFile::fromString(
+        "src/a.cc",
+        "// leaselint: allow(determinism) -- reason\n"
+        "int a;\n"
+        "int b;\n");
+    EXPECT_TRUE(f.allowed("determinism", 1));
+    EXPECT_TRUE(f.allowed("determinism", 2));
+    EXPECT_FALSE(f.allowed("determinism", 3));
+    EXPECT_FALSE(f.allowed("pairing", 2));
+}
+
+// ---- determinism rule -------------------------------------------------------
+
+TEST(DeterminismRule, FlagsWallClockAndRand)
+{
+    LintReport report = lintOne("src/sim/bad.cc",
+                                "#include <chrono>\n"
+                                "auto t = std::chrono::system_clock::now();\n"
+                                "int r = rand();\n",
+                                makeDeterminismRule());
+    ASSERT_EQ(report.findings.size(), 2u);
+    EXPECT_EQ(report.findings[0].line, 2u);
+    EXPECT_EQ(report.findings[1].line, 3u);
+    EXPECT_EQ(report.findings[0].rule, "determinism");
+}
+
+TEST(DeterminismRule, FlagsUnorderedContainers)
+{
+    LintReport report =
+        lintOne("src/os/bad.h", "std::unordered_map<int, int> m;\n",
+                makeDeterminismRule());
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_NE(report.findings[0].message.find("iteration order"),
+              std::string::npos);
+}
+
+TEST(DeterminismRule, IgnoresIncludesCommentsAndOtherDirs)
+{
+    LintReport clean = lintOne("src/sim/ok.cc",
+                               "#include <unordered_set>\n"
+                               "// rand() is banned\n"
+                               "int seeded = seededRandom();\n",
+                               makeDeterminismRule());
+    EXPECT_TRUE(clean.findings.empty());
+
+    // Scope: tools/ and tests/ may use wall clocks (e.g. timing a build).
+    LintReport outside =
+        lintOne("tools/x.cc", "int r = rand();\n", makeDeterminismRule());
+    EXPECT_TRUE(outside.findings.empty());
+}
+
+TEST(DeterminismRule, SuppressionSilencesButCounts)
+{
+    LintReport report = lintOne(
+        "src/sim/ok.h",
+        "// leaselint: allow(determinism) -- membership only\n"
+        "std::unordered_set<int> live_;\n",
+        makeDeterminismRule());
+    EXPECT_TRUE(report.findings.empty());
+    EXPECT_EQ(report.suppressed, 1u);
+}
+
+// ---- pairing rule -----------------------------------------------------------
+
+TEST(PairingRule, FlagsAcquireWithoutRelease)
+{
+    LintReport report = lintOne("src/apps/buggy/leak.h",
+                                "void start() {\n"
+                                "    ctx_.powerManager().acquire(lock_);\n"
+                                "}\n",
+                                makePairingRule());
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].rule, "pairing");
+    EXPECT_EQ(report.findings[0].line, 2u);
+}
+
+TEST(PairingRule, AcceptsBalancedPairsAcrossHeaderAndImpl)
+{
+    // acquire in the .h, release in the .cc of the same unit: balanced.
+    std::vector<SourceFile> files;
+    files.push_back(SourceFile::fromString(
+        "src/apps/a.h", "void s() { pm().acquire(lock_); }\n"));
+    files.push_back(SourceFile::fromString(
+        "src/apps/a.cc", "void t() { pm().release(lock_); }\n"));
+    LintReport report = runLint(files, only(makePairingRule()));
+    EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(PairingRule, ChecksSubscriptionStylePairsToo)
+{
+    LintReport report =
+        lintOne("src/apps/gps.h",
+                "void s() { lm().requestLocationUpdates(uid, i, this); }\n",
+                makePairingRule());
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_NE(report.findings[0].message.find("removeUpdates"),
+              std::string::npos);
+}
+
+TEST(PairingRule, OnlyAppliesToAppsDirectory)
+{
+    LintReport report =
+        lintOne("src/os/impl.cc", "void s() { acquire(t); }\n",
+                makePairingRule());
+    EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(PairingRule, ModelledDefectSuppressionWorks)
+{
+    LintReport report = lintOne(
+        "src/apps/buggy/leak.h",
+        "void start() {\n"
+        "    // leaselint: allow(pairing) -- modelled defect\n"
+        "    ctx_.powerManager().acquire(lock_);\n"
+        "}\n",
+        makePairingRule());
+    EXPECT_TRUE(report.findings.empty());
+    EXPECT_EQ(report.suppressed, 1u);
+}
+
+// ---- proxy-bypass rule ------------------------------------------------------
+
+TEST(ProxyBypassRule, FlagsInterpositionCallsOutsideProxyLayer)
+{
+    LintReport report =
+        lintOne("src/apps/cheat.cc", "pm().suspend(token);\n",
+                makeProxyBypassRule());
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].rule, "proxy-bypass");
+}
+
+TEST(ProxyBypassRule, AllowsProxyMitigationAndServiceLayers)
+{
+    for (const char *path :
+         {"src/lease/proxies/wakelock_proxy.cc", "src/mitigation/doze.cc",
+          "src/os/power_manager_service.cc"}) {
+        LintReport report = lintOne(path, "pm().suspend(token);\n",
+                                    makeProxyBypassRule());
+        EXPECT_TRUE(report.findings.empty()) << path;
+    }
+}
+
+// ---- switch-exhaustive rule -------------------------------------------------
+
+TEST(SwitchExhaustiveRule, FlagsMissingEnumerator)
+{
+    std::vector<SourceFile> files;
+    files.push_back(SourceFile::fromString(
+        "src/lease/lease.h",
+        "enum class LeaseState { Active, Inactive, Deferred, Dead };\n"));
+    files.push_back(SourceFile::fromString(
+        "src/lease/use.cc",
+        "void f(LeaseState s) {\n"
+        "    switch (s) {\n"
+        "      case LeaseState::Active: break;\n"
+        "      case LeaseState::Inactive: break;\n"
+        "    }\n"
+        "}\n"));
+    LintReport report = runLint(files, only(makeSwitchExhaustiveRule()));
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].rule, "switch-exhaustive");
+    EXPECT_NE(report.findings[0].message.find("Deferred"),
+              std::string::npos);
+    EXPECT_NE(report.findings[0].message.find("Dead"), std::string::npos);
+}
+
+TEST(SwitchExhaustiveRule, DefaultDoesNotExcuseMissingCases)
+{
+    std::vector<SourceFile> files;
+    files.push_back(SourceFile::fromString(
+        "src/lease/lease.h",
+        "enum class LeaseState { Active, Inactive, Deferred, Dead };\n"));
+    files.push_back(SourceFile::fromString(
+        "src/lease/use.cc",
+        "void f(LeaseState s) {\n"
+        "    switch (s) {\n"
+        "      case LeaseState::Active: break;\n"
+        "      default: break;\n"
+        "    }\n"
+        "}\n"));
+    LintReport report = runLint(files, only(makeSwitchExhaustiveRule()));
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_NE(report.findings[0].message.find("default"),
+              std::string::npos);
+}
+
+TEST(SwitchExhaustiveRule, FullCoverageIsClean)
+{
+    std::vector<SourceFile> files;
+    files.push_back(SourceFile::fromString(
+        "src/lease/lease.h",
+        "enum class LeaseState { Active, Inactive, Deferred, Dead };\n"));
+    files.push_back(SourceFile::fromString(
+        "src/lease/use.cc",
+        "void f(LeaseState s) {\n"
+        "    switch (s) {\n"
+        "      case LeaseState::Active: break;\n"
+        "      case LeaseState::Inactive: break;\n"
+        "      case LeaseState::Deferred: break;\n"
+        "      case LeaseState::Dead: break;\n"
+        "    }\n"
+        "}\n"));
+    LintReport report = runLint(files, only(makeSwitchExhaustiveRule()));
+    EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SwitchExhaustiveRule, IgnoresSwitchesOverOtherEnums)
+{
+    std::vector<SourceFile> files;
+    files.push_back(SourceFile::fromString(
+        "src/os/other.cc",
+        "void f(Color c) {\n"
+        "    switch (c) {\n"
+        "      case Color::Red: break;\n"
+        "    }\n"
+        "}\n"));
+    LintReport report = runLint(files, only(makeSwitchExhaustiveRule()));
+    EXPECT_TRUE(report.findings.empty());
+}
+
+// ---- driver ----------------------------------------------------------------
+
+TEST(Driver, FindingsAreSortedAndFormatted)
+{
+    std::vector<SourceFile> files;
+    files.push_back(
+        SourceFile::fromString("src/b.cc", "int r = rand();\n"));
+    files.push_back(
+        SourceFile::fromString("src/a.cc", "int r = rand();\n"));
+    LintReport report = runLint(files, only(makeDeterminismRule()));
+    ASSERT_EQ(report.findings.size(), 2u);
+    EXPECT_EQ(report.findings[0].path, "src/a.cc");
+    EXPECT_EQ(report.findings[1].path, "src/b.cc");
+    EXPECT_EQ(report.filesScanned, 2u);
+    std::string line = formatFinding(report.findings[0]);
+    EXPECT_EQ(line.rfind("src/a.cc:1: [determinism]", 0), 0u);
+}
+
+TEST(Driver, WholeRepoIsCleanWithJustifiedSuppressions)
+{
+    // The acceptance gate: the shipped tree must lint clean, with every
+    // suppression carrying a justification at the marked site.
+    LintOptions options;
+    options.root = LEASELINT_TEST_REPO_ROOT;
+    LintReport report = runLint(options);
+    for (const Finding &f : report.findings)
+        ADD_FAILURE() << formatFinding(f);
+    EXPECT_GT(report.filesScanned, 100u);
+    EXPECT_GT(report.suppressed, 0u);
+}
+
+} // namespace
+} // namespace leaselint

@@ -1,0 +1,116 @@
+#include "leaselint/driver.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "leaselint/rules.h"
+
+namespace leaselint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool
+lintableExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+/** Collect lintable files under root/rel (or the single file itself). */
+void
+collect(const fs::path &root, const std::string &rel,
+        std::vector<std::pair<std::string, fs::path>> &out)
+{
+    fs::path abs = root / rel;
+    std::error_code ec;
+    if (fs::is_regular_file(abs, ec)) {
+        out.emplace_back(rel, abs);
+        return;
+    }
+    if (!fs::is_directory(abs, ec)) return;
+    for (fs::recursive_directory_iterator it(abs, ec), end;
+         it != end && !ec; it.increment(ec)) {
+        if (!it->is_regular_file(ec) || !lintableExtension(it->path()))
+            continue;
+        out.emplace_back(
+            fs::relative(it->path(), root, ec).generic_string(),
+            it->path());
+    }
+}
+
+} // namespace
+
+LintReport
+runLint(const std::vector<SourceFile> &files,
+        std::vector<std::unique_ptr<Rule>> rules)
+{
+    LintReport report;
+    report.filesScanned = files.size();
+
+    for (auto &rule : rules)
+        for (const SourceFile &file : files) rule->scan(file);
+
+    std::vector<Finding> raw;
+    for (auto &rule : rules) {
+        for (const SourceFile &file : files) rule->check(file, raw);
+        rule->finalize(raw);
+    }
+
+    // Central suppression filtering against the allow() maps.
+    for (Finding &finding : raw) {
+        auto file = std::find_if(files.begin(), files.end(),
+                                 [&](const SourceFile &f) {
+                                     return f.path() == finding.path;
+                                 });
+        if (file != files.end() &&
+            file->allowed(finding.rule, finding.line)) {
+            ++report.suppressed;
+        } else {
+            report.findings.push_back(std::move(finding));
+        }
+    }
+
+    std::sort(report.findings.begin(), report.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.path, a.line, a.rule, a.message) <
+                         std::tie(b.path, b.line, b.rule, b.message);
+              });
+    return report;
+}
+
+LintReport
+runLint(const LintOptions &options)
+{
+    std::vector<std::pair<std::string, fs::path>> paths;
+    for (const std::string &rel : options.paths)
+        collect(options.root, rel, paths);
+    std::sort(paths.begin(), paths.end());
+    paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+    std::vector<SourceFile> files;
+    files.reserve(paths.size());
+    for (const auto &[rel, abs] : paths) {
+        if (auto file = SourceFile::load(abs.string(), rel))
+            files.push_back(std::move(*file));
+    }
+
+    std::vector<std::unique_ptr<Rule>> rules;
+    for (auto &rule : makeAllRules()) {
+        if (options.rules.empty() ||
+            std::find(options.rules.begin(), options.rules.end(),
+                      rule->name()) != options.rules.end())
+            rules.push_back(std::move(rule));
+    }
+    return runLint(files, std::move(rules));
+}
+
+std::string
+formatFinding(const Finding &finding)
+{
+    return finding.path + ":" + std::to_string(finding.line) + ": [" +
+           finding.rule + "] " + finding.message;
+}
+
+} // namespace leaselint

@@ -1,0 +1,46 @@
+#ifndef LEASELINT_DRIVER_H
+#define LEASELINT_DRIVER_H
+
+/**
+ * @file
+ * The lint driver: file discovery, the two-pass rule run, and central
+ * suppression filtering. Split from main() so the unit tests can run the
+ * full pipeline over in-memory sources.
+ */
+
+#include <string>
+#include <vector>
+
+#include "leaselint/rule.h"
+
+namespace leaselint {
+
+struct LintOptions {
+    /** Repository root; scanned paths and findings are relative to it. */
+    std::string root = ".";
+    /** Root-relative directories/files to lint (default: the repo). */
+    std::vector<std::string> paths = {"src", "bench", "examples", "tools",
+                                      "tests"};
+    /** Rule names to run (empty = all). */
+    std::vector<std::string> rules;
+};
+
+struct LintReport {
+    std::vector<Finding> findings; ///< surviving (unsuppressed) findings
+    std::size_t suppressed = 0;    ///< findings silenced by allow()
+    std::size_t filesScanned = 0;
+};
+
+/** Run @p rules over @p files (already loaded). */
+LintReport runLint(const std::vector<SourceFile> &files,
+                   std::vector<std::unique_ptr<Rule>> rules);
+
+/** Discover files under options.root and run the selected rules. */
+LintReport runLint(const LintOptions &options);
+
+/** Render one finding as "path:line: [rule] message". */
+std::string formatFinding(const Finding &finding);
+
+} // namespace leaselint
+
+#endif // LEASELINT_DRIVER_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * leaselint — protocol lint for the LeaseOS reproduction.
+ *
+ * Usage:
+ *   leaselint [--root DIR] [--rule NAME]... [--list-rules] [PATH...]
+ *
+ * PATHs are root-relative files or directories (default: src bench
+ * examples tools tests). Exits 1 when any unsuppressed finding remains,
+ * so CI can gate on it. Suppress a finding in place with
+ * `// leaselint: allow(<rule>) -- justification`.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "leaselint/driver.h"
+#include "leaselint/rules.h"
+
+int
+main(int argc, char **argv)
+{
+    leaselint::LintOptions options;
+    bool defaultPaths = true;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            options.root = argv[++i];
+        } else if (arg == "--rule" && i + 1 < argc) {
+            options.rules.push_back(argv[++i]);
+        } else if (arg == "--list-rules") {
+            for (const auto &rule : leaselint::makeAllRules())
+                std::cout << rule->name() << ": " << rule->description()
+                          << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: leaselint [--root DIR] [--rule NAME]... "
+                         "[--list-rules] [PATH...]\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "leaselint: unknown option " << arg << "\n";
+            return 2;
+        } else {
+            if (defaultPaths) {
+                options.paths.clear();
+                defaultPaths = false;
+            }
+            options.paths.push_back(arg);
+        }
+    }
+
+    leaselint::LintReport report = leaselint::runLint(options);
+    for (const auto &finding : report.findings)
+        std::cout << leaselint::formatFinding(finding) << "\n";
+    std::cerr << "leaselint: " << report.filesScanned << " files, "
+              << report.findings.size() << " finding(s), "
+              << report.suppressed << " suppressed\n";
+    return report.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+#ifndef LEASELINT_RULE_H
+#define LEASELINT_RULE_H
+
+/**
+ * @file
+ * The leaselint rule interface.
+ *
+ * Linting is two-pass: every rule sees every file in scan() first (for
+ * cross-file facts such as enum definitions or per-app acquire/release
+ * tallies), then check() runs per file and finalize() once at the end.
+ * Rules emit findings unconditionally; the driver filters suppressed ones
+ * against the `// leaselint: allow(<rule>)` map afterwards.
+ */
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "leaselint/source.h"
+
+namespace leaselint {
+
+struct Finding {
+    std::string rule;
+    std::string path;
+    std::size_t line = 0;
+    std::string message;
+};
+
+class Rule
+{
+  public:
+    virtual ~Rule() = default;
+
+    virtual const char *name() const = 0;
+    virtual const char *description() const = 0;
+
+    /** Pass 1: observe every file (cross-file state). Default: nothing. */
+    virtual void scan(const SourceFile &file) { (void)file; }
+
+    /** Pass 2: emit findings for one file. */
+    virtual void check(const SourceFile &file,
+                       std::vector<Finding> &out) = 0;
+
+    /** After pass 2: emit findings that needed cross-file state. */
+    virtual void finalize(std::vector<Finding> &out) { (void)out; }
+};
+
+/** Construct every built-in rule. */
+std::vector<std::unique_ptr<Rule>> makeAllRules();
+
+} // namespace leaselint
+
+#endif // LEASELINT_RULE_H

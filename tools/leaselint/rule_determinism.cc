@@ -1,0 +1,102 @@
+/**
+ * @file
+ * determinism: flag constructs that make simulation output depend on
+ * anything but the seed.
+ *
+ * Scope: src/ and bench/ (the simulator library and the bench binaries
+ * whose stdout is diffed byte-for-byte across job counts). Two classes:
+ *
+ *  - wall-clock and ambient randomness (std::chrono clocks, rand(),
+ *    std::random_device, gettimeofday, ...): virtual time must come from
+ *    sim::Simulator and randomness from the seeded sim::RandomSource;
+ *  - std::unordered_* containers: their iteration order is unspecified
+ *    and varies across libstdc++ versions and ASLR, so any loop over one
+ *    can leak ordering into metrics, logs, or sink output (cf. the
+ *    event-queue audit in src/sim/event_queue.h).
+ */
+
+#include "leaselint/rules.h"
+
+namespace leaselint {
+
+namespace {
+
+struct BannedToken {
+    const char *token;
+    const char *why;
+};
+
+constexpr BannedToken kClockTokens[] = {
+    {"rand", "ambient RNG; use the seeded sim::RandomSource"},
+    {"srand", "ambient RNG; use the seeded sim::RandomSource"},
+    {"drand48", "ambient RNG; use the seeded sim::RandomSource"},
+    {"random_device", "nondeterministic seed source; thread the run seed "
+                      "through instead"},
+    {"system_clock", "wall clock; use sim::Simulator::now()"},
+    {"steady_clock", "wall clock; use sim::Simulator::now()"},
+    {"high_resolution_clock", "wall clock; use sim::Simulator::now()"},
+    {"gettimeofday", "wall clock; use sim::Simulator::now()"},
+    {"clock_gettime", "wall clock; use sim::Simulator::now()"},
+    {"localtime", "wall-clock formatting; derive labels from sim time"},
+    {"gmtime", "wall-clock formatting; derive labels from sim time"},
+};
+
+constexpr const char *kUnorderedTokens[] = {
+    "unordered_map",
+    "unordered_set",
+    "unordered_multimap",
+    "unordered_multiset",
+};
+
+class DeterminismRule : public Rule
+{
+  public:
+    const char *name() const override { return "determinism"; }
+    const char *
+    description() const override
+    {
+        return "wall-clock, ambient RNG, or unordered-container iteration "
+               "in simulation code";
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out) override
+    {
+        if (!underDir(file.path(), "src") && !underDir(file.path(), "bench"))
+            return;
+        for (std::size_t line = 1; line <= file.lineCount(); ++line) {
+            const std::string &code = file.codeLine(line);
+            // Preprocessor lines (#include <unordered_map> etc.) are not
+            // uses; the declaration/call site carries the finding.
+            std::size_t first = code.find_first_not_of(" \t");
+            if (first != std::string::npos && code[first] == '#') continue;
+            for (const auto &banned : kClockTokens) {
+                if (findToken(code, banned.token) != std::string::npos) {
+                    out.push_back({name(), file.path(), line,
+                                   std::string(banned.token) + ": " +
+                                       banned.why});
+                }
+            }
+            for (const char *container : kUnorderedTokens) {
+                if (findToken(code, container) != std::string::npos) {
+                    out.push_back(
+                        {name(), file.path(), line,
+                         std::string("std::") + container +
+                             ": iteration order is unspecified and can "
+                             "leak into results; use an ordered container "
+                             "or suppress with a justification"});
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Rule>
+makeDeterminismRule()
+{
+    return std::make_unique<DeterminismRule>();
+}
+
+} // namespace leaselint

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * pairing: DroidLeaks-style acquire-without-release detection over the app
+ * corpus (src/apps/).
+ *
+ * For each app unit (the .h/.cc pair sharing a path stem) the rule tallies
+ * acquire-side and release-side calls per resource-API pair. A unit that
+ * acquires a resource kind but never contains the matching release call
+ * models a leak; deliberate leaks (the whole point of src/apps/buggy/)
+ * carry a `// leaselint: allow(pairing)` annotation at the acquire site so
+ * every intentional leak is documented in place.
+ */
+
+#include "leaselint/rules.h"
+
+#include <map>
+
+namespace leaselint {
+
+namespace {
+
+struct ApiPair {
+    const char *acquire;
+    const char *release;
+};
+
+/** Acquire/release vocabularies of the OS services (src/os headers). */
+constexpr ApiPair kPairs[] = {
+    {"acquire", "release"},                          // wakelock + wifi lock
+    {"requestLocationUpdates", "removeUpdates"},     // GPS subscription
+    {"registerListener", "unregisterListener"},      // sensor subscription
+    {"startScan", "stopScan"},                       // bluetooth discovery
+    {"startPlayback", "stopPlayback"},               // audio session
+    {"openSession", "closeSession"},                 // audio session object
+};
+
+class PairingRule : public Rule
+{
+  public:
+    const char *name() const override { return "pairing"; }
+    const char *
+    description() const override
+    {
+        return "app acquires a resource but has no matching release call";
+    }
+
+    void
+    scan(const SourceFile &file) override
+    {
+        if (!underDir(file.path(), "src/apps")) return;
+        std::string unit = stem(file.path());
+        for (std::size_t pi = 0; pi < std::size(kPairs); ++pi) {
+            PairState &state = units_[unit].pairs[pi];
+            for (std::size_t line = 1; line <= file.lineCount(); ++line) {
+                const std::string &code = file.codeLine(line);
+                std::size_t at = 0;
+                while ((at = findToken(code, kPairs[pi].acquire, at)) !=
+                       std::string::npos) {
+                    ++state.acquires;
+                    if (state.firstAcquirePath.empty()) {
+                        state.firstAcquirePath = file.path();
+                        state.firstAcquireLine = line;
+                    }
+                    // Prefer an annotated acquire site so a suppression on
+                    // any acquire in the unit silences the finding.
+                    if (file.allowed(name(), line) &&
+                        state.allowedPath.empty()) {
+                        state.allowedPath = file.path();
+                        state.allowedLine = line;
+                    }
+                    at += 1;
+                }
+                if (findToken(code, kPairs[pi].release) !=
+                    std::string::npos)
+                    ++state.releases;
+            }
+        }
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out) override
+    {
+        (void)file;
+        (void)out; // all findings need cross-file tallies; see finalize()
+    }
+
+    void
+    finalize(std::vector<Finding> &out) override
+    {
+        for (const auto &[unit, state] : units_) {
+            for (std::size_t pi = 0; pi < std::size(kPairs); ++pi) {
+                const PairState &pair = state.pairs.at(pi);
+                if (pair.acquires == 0 || pair.releases > 0) continue;
+                const std::string &path = pair.allowedPath.empty()
+                                              ? pair.firstAcquirePath
+                                              : pair.allowedPath;
+                std::size_t line = pair.allowedPath.empty()
+                                       ? pair.firstAcquireLine
+                                       : pair.allowedLine;
+                out.push_back(
+                    {name(), path, line,
+                     unit + " calls " + kPairs[pi].acquire + "() " +
+                         std::to_string(pair.acquires) +
+                         " time(s) but never " + kPairs[pi].release +
+                         "() — resource leak unless the hold is "
+                         "intentional (annotate the leak if it models a "
+                         "documented bug)"});
+            }
+        }
+    }
+
+  private:
+    struct PairState {
+        std::size_t acquires = 0;
+        std::size_t releases = 0;
+        std::string firstAcquirePath;
+        std::size_t firstAcquireLine = 0;
+        std::string allowedPath;
+        std::size_t allowedLine = 0;
+    };
+    struct UnitState {
+        std::map<std::size_t, PairState> pairs;
+    };
+
+    /** "src/apps/buggy/torch.h" -> "src/apps/buggy/torch". */
+    static std::string
+    stem(const std::string &path)
+    {
+        std::size_t dot = path.rfind('.');
+        std::size_t slash = path.rfind('/');
+        if (dot == std::string::npos ||
+            (slash != std::string::npos && dot < slash))
+            return path;
+        return path.substr(0, dot);
+    }
+
+    std::map<std::string, UnitState> units_;
+};
+
+} // namespace
+
+std::unique_ptr<Rule>
+makePairingRule()
+{
+    return std::make_unique<PairingRule>();
+}
+
+} // namespace leaselint

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * proxy-bypass: the service interposition surface (suspend/restore,
+ * global filters, refilter) exists so lease proxies and the mitigation
+ * controllers can revoke kernel objects from inside the OS (§4.4). Any
+ * other caller — apps, benches, examples, the harness — is mutating
+ * service state behind the lease manager's back, which desynchronises the
+ * lease table from the kernel objects it claims to govern.
+ *
+ * Legal homes for these calls: src/lease/proxies/, src/mitigation/, and
+ * src/os/ (the services themselves). Tests and tools are exempt (they
+ * exercise the surface deliberately).
+ */
+
+#include "leaselint/rules.h"
+
+namespace leaselint {
+
+namespace {
+
+constexpr const char *kInterpositionTokens[] = {
+    "suspend",
+    "restore",
+    "setGlobalFilter",
+    "clearGlobalFilter",
+    "refilter",
+};
+
+constexpr const char *kAllowedDirs[] = {
+    "src/lease/proxies",
+    "src/mitigation",
+    "src/os",
+    "tests",
+    "tools",
+};
+
+class ProxyBypassRule : public Rule
+{
+  public:
+    const char *name() const override { return "proxy-bypass"; }
+    const char *
+    description() const override
+    {
+        return "service interposition API used outside "
+               "proxies/mitigation/OS code";
+    }
+
+    void
+    check(const SourceFile &file, std::vector<Finding> &out) override
+    {
+        for (const char *dir : kAllowedDirs)
+            if (underDir(file.path(), dir)) return;
+        for (std::size_t line = 1; line <= file.lineCount(); ++line) {
+            const std::string &code = file.codeLine(line);
+            for (const char *token : kInterpositionTokens) {
+                if (findToken(code, token) != std::string::npos) {
+                    out.push_back(
+                        {name(), file.path(), line,
+                         std::string(token) +
+                             "() mutates service interposition state; "
+                             "only lease proxies and mitigation "
+                             "controllers may bypass the app-facing API"});
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Rule>
+makeProxyBypassRule()
+{
+    return std::make_unique<ProxyBypassRule>();
+}
+
+} // namespace leaselint

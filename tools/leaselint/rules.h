@@ -1,0 +1,33 @@
+#ifndef LEASELINT_RULES_H
+#define LEASELINT_RULES_H
+
+/**
+ * @file
+ * Factories for the individual built-in rules (unit tests build them one
+ * at a time; the driver uses makeAllRules() from rule.h).
+ *
+ * Rule inventory:
+ *  - determinism:       wall-clock / rand() / unordered containers in
+ *                       simulation code (results must be bit-reproducible);
+ *  - pairing:           acquire-without-release in the app corpus
+ *                       (DroidLeaks-style resource-leak shape);
+ *  - proxy-bypass:      service interposition mutators (suspend/restore/
+ *                       filters) used outside proxies/mitigation/OS code;
+ *  - switch-exhaustive: switches over the core lease enums that do not
+ *                       enumerate every value (a default: hides new ones).
+ */
+
+#include <memory>
+
+#include "leaselint/rule.h"
+
+namespace leaselint {
+
+std::unique_ptr<Rule> makeDeterminismRule();
+std::unique_ptr<Rule> makePairingRule();
+std::unique_ptr<Rule> makeProxyBypassRule();
+std::unique_ptr<Rule> makeSwitchExhaustiveRule();
+
+} // namespace leaselint
+
+#endif // LEASELINT_RULES_H

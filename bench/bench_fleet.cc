@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Device-fleet scenario: N independent simulated phones (default 100,
+ * `--devices=N` up to 500) each running one of the 20 Table-5 buggy apps
+ * round-robin, half vanilla Android and half LeaseOS, under a diurnal
+ * glance script whose cadence varies per device (heavy users glance every
+ * half minute, light users every few minutes). Every device is an
+ * independent RunSpec executed on the ParallelRunner worker pool, so the
+ * whole fleet is bit-identical for any `--jobs N`.
+ *
+ * This is the scale workload for the event-queue fast path: a fleet run
+ * pushes tens of millions of events through sim::EventQueue, and the
+ * bench reports aggregate simulated events, wall time, and events/sec
+ * next to the fleet-level power numbers (mean per mode and per behaviour
+ * class, with the LeaseOS reduction). Results land on stdout and in
+ * BENCH_fleet.json.
+ *
+ * Flags: --devices=N (1..500, default 100), --minutes=M (virtual minutes
+ * per device, default 30), --jobs=N / -j N (worker pool, default
+ * automatic). CI smoke runs `--devices=50 --minutes=5`.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "harness/experiment.h"
+#include "harness/result_sink.h"
+#include "harness/runner.h"
+
+using namespace leaseos;
+using harness::MitigationMode;
+using harness::ResultSink;
+using sim::operator""_s;
+
+namespace {
+
+std::int64_t
+nowNanos()
+{
+    // leaselint: allow(determinism) -- bench: wall time is the measurand
+    auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(now)
+        .count();
+}
+
+[[noreturn]] void
+usageError(const char *flag)
+{
+    std::fprintf(stderr,
+                 "bench_fleet: bad value for %s\n"
+                 "usage: bench_fleet [--devices=N (1..500)] "
+                 "[--minutes=M (>=1)] [--jobs=N | -j N]\n",
+                 flag);
+    std::exit(2);
+}
+
+/** Strict positive-integer flag value; exits with usage on garbage. */
+long
+parseValue(const char *text, const char *flag, long lo, long hi)
+{
+    if (text == nullptr || *text == '\0') usageError(flag);
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    if (*end != '\0' || v < lo || v > hi) usageError(flag);
+    return v;
+}
+
+/**
+ * Per-device diurnal glance cadence. Device i is pinned to a "time of
+ * day" phase; daytime phases glance often with long looks, nighttime
+ * phases rarely and briefly. Deterministic in i — no wall clock.
+ */
+void
+diurnalGlances(harness::RunSpec &spec, int i)
+{
+    int phase = i % 24; // hour-of-day this device's trace is centred on
+    bool day = phase >= 7 && phase < 23;
+    long interval = day ? 30 + 10 * (phase % 5)  // 30..70 s
+                        : 180 + 60 * (phase % 4); // 3..6 min
+    long length = day ? 8 + phase % 7 : 3;        // 8..14 s vs 3 s
+    spec.userGlances = true;
+    spec.glanceInterval = sim::Time::fromSeconds(
+        static_cast<double>(interval));
+    spec.glanceLength = sim::Time::fromSeconds(static_cast<double>(length));
+}
+
+struct ModeAgg {
+    double powerSum = 0.0;
+    double eventsSum = 0.0;
+    int n = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    long devices = 100;
+    long minutes = 30;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--devices=", 10) == 0)
+            devices = parseValue(argv[i] + 10, "--devices", 1, 500);
+        else if (std::strncmp(argv[i], "--minutes=", 10) == 0)
+            minutes = parseValue(argv[i] + 10, "--minutes", 1, 24 * 60);
+    }
+
+    const auto &corpus = apps::table5Specs();
+    const MitigationMode modes[] = {MitigationMode::None,
+                                    MitigationMode::LeaseOS};
+
+    // Device i: buggy app i mod 20, vanilla/LeaseOS alternating, diurnal
+    // glance cadence pinned to i. Seeds come from the runner's baseSeed so
+    // every device is an independent deterministic stream.
+    std::vector<harness::RunSpec> specs;
+    specs.reserve(static_cast<std::size_t>(devices));
+    for (long i = 0; i < devices; ++i) {
+        const auto &app = corpus[static_cast<std::size_t>(i) %
+                                 corpus.size()];
+        MitigationMode mode = modes[i % 2];
+        harness::MitigationRunOptions opt;
+        opt.duration = sim::Time::fromMinutes(static_cast<double>(minutes));
+        harness::RunSpec spec = mitigationCellSpec(app, mode, opt);
+        spec.name = "dev" + std::to_string(i) + " " + spec.name;
+        diurnalGlances(spec, static_cast<int>(i));
+        spec.probes.emplace_back("events", [](harness::Device &d) {
+            return static_cast<double>(d.simulator().executedEvents());
+        });
+        specs.push_back(std::move(spec));
+    }
+
+    harness::RunnerOptions options =
+        harness::ParallelRunner::parseArgs(argc, argv);
+    options.baseSeed = 0xf1ee7ULL;
+    harness::ParallelRunner runner(options);
+    std::fprintf(stderr, "[fleet] %ld devices x %ld min on %d worker(s)\n",
+                 devices, minutes, runner.jobs());
+
+    std::int64_t t0 = nowNanos();
+    auto results = runner.run(specs);
+    double wallSec = static_cast<double>(nowNanos() - t0) / 1e9;
+
+    // Aggregate per mode and per (behaviour class, mode).
+    std::map<std::string, ModeAgg> perMode;
+    std::map<std::string, ModeAgg> perBehavior; // key "LHB/None" etc.
+    double totalEvents = 0.0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        const auto &app = corpus[i % corpus.size()];
+        const char *mode = (i % 2 == 0) ? "None" : "LeaseOS";
+        double events = r.probe("events");
+        totalEvents += events;
+        auto &m = perMode[mode];
+        m.powerSum += r.appPowerMw;
+        m.eventsSum += events;
+        ++m.n;
+        auto &b = perBehavior[app.behavior + std::string("/") + mode];
+        b.powerSum += r.appPowerMw;
+        ++b.n;
+    }
+
+    harness::TextTableSink table;
+    harness::JsonSink json(harness::benchArtifactPath("fleet"));
+    harness::TeeSink sink({&table, &json});
+    sink.begin("Device fleet",
+               std::to_string(devices) + " devices x " +
+                   std::to_string(minutes) +
+                   " virtual minutes; Table-5 buggy apps round-robin, "
+                   "alternating vanilla/LeaseOS, diurnal glance script. "
+                   "Mean app power (mW) per behaviour class and mode, "
+                   "plus simulator throughput.");
+
+    for (const char *behavior : {"LHB", "LUB", "FAB"}) {
+        const auto none = perBehavior.find(behavior + std::string("/None"));
+        const auto leased =
+            perBehavior.find(behavior + std::string("/LeaseOS"));
+        if (none == perBehavior.end() || leased == perBehavior.end())
+            continue;
+        double vanillaMw = none->second.powerSum / none->second.n;
+        double leasedMw = leased->second.powerSum / leased->second.n;
+        sink.addRow(
+            {{"group", ResultSink::Value::str(behavior)},
+             {"devices", ResultSink::Value::count(none->second.n +
+                                                  leased->second.n)},
+             {"vanilla_mw", ResultSink::Value::num(vanillaMw)},
+             {"leaseos_mw", ResultSink::Value::num(leasedMw)},
+             {"reduction_pct", ResultSink::Value::num(
+                                   harness::reductionPercent(vanillaMw,
+                                                             leasedMw))}});
+    }
+
+    sink.addSeparator();
+    double vanillaMw = perMode["None"].powerSum / perMode["None"].n;
+    double leasedMw = perMode["LeaseOS"].powerSum / perMode["LeaseOS"].n;
+    sink.addRow(
+        {{"group", ResultSink::Value::str("fleet")},
+         {"devices", ResultSink::Value::count(
+                         static_cast<std::int64_t>(results.size()))},
+         {"vanilla_mw", ResultSink::Value::num(vanillaMw)},
+         {"leaseos_mw", ResultSink::Value::num(leasedMw)},
+         {"reduction_pct", ResultSink::Value::num(
+                               harness::reductionPercent(vanillaMw,
+                                                         leasedMw))}});
+    // Throughput goes to the JSON artifact only: its columns differ from
+    // the power table's, and TextTableSink headers come from row 1.
+    json.addRow(
+        {{"group", ResultSink::Value::str("throughput")},
+         {"devices", ResultSink::Value::count(
+                         static_cast<std::int64_t>(results.size()))},
+         {"events", ResultSink::Value::count(
+                        static_cast<std::int64_t>(totalEvents))},
+         {"wall_s", ResultSink::Value::num(wallSec, 3)},
+         {"events_per_s", ResultSink::Value::num(totalEvents / wallSec,
+                                                 0)}});
+    sink.finish();
+    std::printf("\nSimulated %.0f events in %.2f s wall — %.0f events/s "
+                "across %d worker(s).\n",
+                totalEvents, wallSec, totalEvents / wallSec,
+                runner.jobs());
+    return 0;
+}

@@ -4,11 +4,12 @@
 
 namespace leaseos::harness {
 
-void
+sim::PeriodicHandle
 installGlanceScript(Device &device, const MitigationRunOptions &opt)
 {
-    if (!opt.userGlances) return;
-    installGlanceScript(device, opt.glanceInterval, opt.glanceLength);
+    if (!opt.userGlances) return {};
+    return installGlanceScript(device, opt.glanceInterval,
+                               opt.glanceLength);
 }
 
 RunSpec

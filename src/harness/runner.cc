@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
@@ -19,22 +20,29 @@ RunResult::probe(const std::string &probeName) const
     throw std::out_of_range("no probe named '" + probeName + "'");
 }
 
-void
+sim::PeriodicHandle
 installGlanceScript(Device &device, sim::Time interval, sim::Time length)
 {
     auto &sim = device.simulator();
     auto &dms = device.server().displayManager();
     auto &motion = device.motion();
-    sim.schedulePeriodic(interval, [&sim, &dms, &motion, length] {
-        // Pick up the phone: motion, then screen for a moment.
-        motion.setStationary(false);
-        dms.userSetScreen(true);
-        sim.schedule(length, [&dms, &motion] {
-            dms.userSetScreen(false);
-            motion.setStationary(true);
+    // Generation guard: with length >= interval, glance N's screen-off
+    // event fires after glance N+1 has begun and would blank the screen
+    // (and park the user) mid-glance. Only the latest glance's off-event
+    // may take effect.
+    auto generation = std::make_shared<std::uint64_t>(0);
+    return sim.schedulePeriodicScoped(
+        interval, [&sim, &dms, &motion, length, generation] {
+            // Pick up the phone: motion, then screen for a moment.
+            std::uint64_t glance = ++*generation;
+            motion.setStationary(false);
+            dms.userSetScreen(true);
+            sim.schedule(length, [&dms, &motion, generation, glance] {
+                if (*generation != glance) return; // superseded
+                dms.userSetScreen(false);
+                motion.setStationary(true);
+            });
         });
-        return true;
-    });
 }
 
 RunResult
@@ -49,8 +57,10 @@ runScenario(const RunSpec &spec)
     for (const auto &installFn : spec.apps)
         uids.push_back(installFn(device).uid());
 
+    sim::PeriodicHandle glanceTick;
     if (spec.userGlances)
-        installGlanceScript(device, spec.glanceInterval, spec.glanceLength);
+        glanceTick = installGlanceScript(device, spec.glanceInterval,
+                                         spec.glanceLength);
 
     device.start();
     for (const auto &fn : spec.postStart) fn(device);
@@ -108,26 +118,61 @@ ParallelRunner::defaultJobs()
     return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+std::optional<int>
+ParallelRunner::parseJobs(const char *text)
+{
+    if (text == nullptr || *text == '\0') return std::nullopt;
+    long value = 0;
+    for (const char *p = text; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9') return std::nullopt;
+        value = value * 10 + (*p - '0');
+        if (value > 100000) return std::nullopt; // obviously bogus
+    }
+    return static_cast<int>(value);
+}
+
+namespace {
+
+[[noreturn]] void
+jobsUsageError(const char *prog, const std::string &offender)
+{
+    std::fprintf(stderr,
+                 "%s: invalid jobs flag '%s'\n"
+                 "usage: %s [--jobs N | --jobs=N | -j N | -jN]\n"
+                 "  N is a non-negative integer; 0 (or $LEASEOS_JOBS "
+                 "unset) means automatic\n",
+                 prog, offender.c_str(), prog);
+    std::exit(2);
+}
+
+} // namespace
+
 RunnerOptions
 ParallelRunner::parseArgs(int argc, char **argv)
 {
     RunnerOptions options;
+    const char *prog = argc > 0 ? argv[0] : "bench";
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
-        if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
-            options.jobs = std::atoi(argv[i + 1]);
-            break;
+        const char *value = nullptr;
+        std::string offender = arg;
+        if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+            // Separated form: the value is the next argv entry.
+            if (i + 1 >= argc) jobsUsageError(prog, offender);
+            value = argv[++i];
+            offender += std::string(" ") + value;
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            value = arg + 7;
+        } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+            value = arg + 2;
+        } else {
+            continue; // not a jobs flag; other flags belong to the bench
         }
-        if (std::strncmp(arg, "--jobs=", 7) == 0) {
-            options.jobs = std::atoi(arg + 7);
-            break;
-        }
-        if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
-            options.jobs = std::atoi(arg + 2);
-            break;
-        }
+        std::optional<int> jobs = parseJobs(value);
+        if (!jobs) jobsUsageError(prog, offender);
+        options.jobs = *jobs;
+        break;
     }
-    if (options.jobs < 0) options.jobs = 0;
     return options;
 }
 

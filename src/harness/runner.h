@@ -184,9 +184,13 @@ RunResult runScenario(const RunSpec &spec);
 /**
  * Install the lightly-attended-device script: screen on briefly + motion
  * blip every @p interval (what RunSpec::userGlances uses internally).
+ * The script stops when the returned handle is cancelled or destroyed;
+ * keep it alive for as long as the user should stay lively. Overlapping
+ * glances (length >= interval) are safe: a glance's screen-off event is
+ * ignored once a newer glance has begun.
  */
-void installGlanceScript(Device &device, sim::Time interval,
-                         sim::Time length);
+[[nodiscard]] sim::PeriodicHandle
+installGlanceScript(Device &device, sim::Time interval, sim::Time length);
 
 /**
  * Deterministic per-spec seed: splitmix64 of (baseSeed, specIndex).
@@ -242,10 +246,20 @@ class ParallelRunner
     static int defaultJobs();
 
     /**
-     * Parse a `--jobs N` / `--jobs=N` / `-jN` flag from argv (first match
-     * wins); returns options with jobs=0 (automatic) when absent.
+     * Parse a `--jobs N` / `--jobs=N` / `-jN` / `-j N` flag from argv
+     * (first match wins); returns options with jobs=0 (automatic) when
+     * absent. A malformed or missing value (`--jobs=abc`, `-jxyz`,
+     * trailing `--jobs`) prints a usage message to stderr and exits with
+     * status 2 — never silently falls back to the default.
      */
     static RunnerOptions parseArgs(int argc, char **argv);
+
+    /**
+     * Strictly parse a jobs value: decimal digits only, >= 0 (0 means
+     * automatic). std::nullopt on anything else (empty, sign, suffix,
+     * overflow) — what parseArgs treats as a usage error.
+     */
+    static std::optional<int> parseJobs(const char *text);
 
   private:
     int jobs_ = 1;

@@ -20,10 +20,8 @@ DefDroidController::start()
     server_.locationManager().addListener(&gpsWatcher_);
     server_.sensorManager().addListener(&sensorWatcher_);
     server_.wifiManager().addListener(&wifiWatcher_);
-    sim_.schedulePeriodic(config_.pollInterval, [this] {
-        poll();
-        return true;
-    });
+    pollTick_ = sim_.schedulePeriodicScoped(config_.pollInterval,
+                                            [this] { poll(); });
 }
 
 void

@@ -121,6 +121,8 @@ class DefDroidController
     os::SystemServer &server_;
     DefDroidConfig config_;
     bool started_ = false;
+    /** Owns the poll loop: destroying the controller stops polling. */
+    sim::PeriodicHandle pollTick_;
 
     Watcher wakelockWatcher_{*this, Kind::Wakelock};
     Watcher gpsWatcher_{*this, Kind::Gps};

@@ -26,11 +26,7 @@ PowerProfiler::start()
     lastTotalMj_ = accountant_.totalEnergyMj();
     for (auto &[uid, series] : perUid_)
         lastUidMj_[uid] = accountant_.uidEnergyMj(uid);
-    sim_.schedulePeriodic(period_, [this] {
-        if (!running_) return false;
-        sample();
-        return true;
-    });
+    tick_ = sim_.schedulePeriodicScoped(period_, [this] { sample(); });
 }
 
 void

@@ -37,8 +37,16 @@ class PowerProfiler
     /** Begin sampling. */
     void start();
 
-    /** Stop sampling. */
-    void stop() { running_ = false; }
+    /**
+     * Stop sampling: the pending tick is cancelled immediately (no zombie
+     * event stays in the queue). start() may be called again later.
+     */
+    void
+    stop()
+    {
+        running_ = false;
+        tick_.cancel();
+    }
 
     const sim::TimeSeries &totalSeries() const { return total_; }
     const sim::TimeSeries &uidSeries(Uid uid) const;
@@ -58,6 +66,8 @@ class PowerProfiler
     EnergyAccountant &accountant_;
     sim::Time period_;
     bool running_ = false;
+    /** Owns the sampling loop; cancelled by stop() / destruction. */
+    sim::PeriodicHandle tick_;
 
     sim::TimeSeries total_;
     std::map<Uid, sim::TimeSeries> perUid_;

@@ -8,26 +8,118 @@ namespace leaseos::sim {
 EventId
 EventQueue::schedule(Time when, Callback cb)
 {
-    EventId id = nextId_++;
-    heap_.push(Entry{when, nextSeq_++, id, std::move(cb)});
-    live_.insert(id);
-    return id;
+    std::uint32_t index;
+    if (freeHead_ != kNoSlot) {
+        index = freeHead_;
+        freeHead_ = slots_[index].nextFree;
+    } else {
+        assert(slots_.size() < kNoSlot && "event-slot space exhausted");
+        index = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot &slot = slots_[index];
+    slot.when = when;
+    slot.seq = nextSeq_++;
+    slot.live = true;
+    slot.cb = std::move(cb);
+
+    heap_.push_back(index);
+    siftUp(heap_.size() - 1);
+    ++liveCount_;
+    return makeId(index, slot.gen);
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    // erase() returns 0 for ids that never existed, already fired, or were
-    // already cancelled; the heap entry (if any) becomes a tombstone that
-    // skipDead() discards when it surfaces.
-    return live_.erase(id) != 0;
+    const Slot *found = decode(id);
+    if (found == nullptr || !found->live) return false;
+    // Lazy cancellation: mark the slot dead and release its callback now
+    // (closures can pin resources); the heap entry becomes a tombstone
+    // that skipDead() discards — and recycles — when it surfaces.
+    Slot &slot = const_cast<Slot &>(*found);
+    slot.live = false;
+    slot.cb = nullptr;
+    --liveCount_;
+    // Cancel-heavy workloads (timer resets, backoffs) would otherwise
+    // grow the heap without bound: tombstones only surface through
+    // skipDead(). Compact once they dominate.
+    if (heap_.size() > 64 && heap_.size() - liveCount_ > liveCount_)
+        compact();
+    return true;
+}
+
+void
+EventQueue::compact()
+{
+    std::size_t kept = 0;
+    for (std::uint32_t index : heap_) {
+        if (slots_[index].live)
+            heap_[kept++] = index;
+        else
+            recycleSlot(index);
+    }
+    heap_.resize(kept);
+    for (std::size_t i = kept / 2; i-- > 0;) siftDown(i);
+}
+
+void
+EventQueue::recycleSlot(std::uint32_t index)
+{
+    Slot &slot = slots_[index];
+    slot.live = false;
+    slot.cb = nullptr;
+    // Invalidate every id already handed out for this slot.
+    ++slot.gen;
+    slot.nextFree = freeHead_;
+    freeHead_ = index;
+}
+
+void
+EventQueue::siftUp(std::size_t pos)
+{
+    std::uint32_t moving = heap_[pos];
+    while (pos > 0) {
+        std::size_t parent = (pos - 1) / 2;
+        if (!earlier(moving, heap_[parent])) break;
+        heap_[pos] = heap_[parent];
+        pos = parent;
+    }
+    heap_[pos] = moving;
+}
+
+void
+EventQueue::siftDown(std::size_t pos)
+{
+    std::uint32_t moving = heap_[pos];
+    const std::size_t n = heap_.size();
+    for (;;) {
+        std::size_t child = 2 * pos + 1;
+        if (child >= n) break;
+        if (child + 1 < n && earlier(heap_[child + 1], heap_[child]))
+            ++child;
+        if (!earlier(heap_[child], moving)) break;
+        heap_[pos] = heap_[child];
+        pos = child;
+    }
+    heap_[pos] = moving;
+}
+
+void
+EventQueue::popHeapTop()
+{
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) siftDown(0);
 }
 
 void
 EventQueue::skipDead()
 {
-    while (!heap_.empty() && live_.count(heap_.top().id) == 0)
-        heap_.pop();
+    while (!heap_.empty() && !slots_[heap_[0]].live) {
+        recycleSlot(heap_[0]);
+        popHeapTop();
+    }
 }
 
 Time
@@ -35,7 +127,7 @@ EventQueue::nextTime()
 {
     skipDead();
     assert(!heap_.empty() && "nextTime() on empty queue");
-    return heap_.top().when;
+    return slots_[heap_[0]].when;
 }
 
 std::pair<Time, EventQueue::Callback>
@@ -43,12 +135,12 @@ EventQueue::pop()
 {
     skipDead();
     assert(!heap_.empty() && "pop() on empty queue");
-    // priority_queue::top() returns const&; moving the callback out requires
-    // a const_cast, which is safe because we pop the entry immediately.
-    Entry &top = const_cast<Entry &>(heap_.top());
-    auto result = std::make_pair(top.when, std::move(top.cb));
-    live_.erase(top.id);
-    heap_.pop();
+    std::uint32_t index = heap_[0];
+    Slot &slot = slots_[index];
+    auto result = std::make_pair(slot.when, std::move(slot.cb));
+    --liveCount_;
+    recycleSlot(index);
+    popHeapTop();
     return result;
 }
 

@@ -8,21 +8,33 @@
  * Events are (time, sequence, callback) tuples ordered by time with FIFO
  * tie-breaking so that same-timestamp events fire in scheduling order,
  * which keeps runs deterministic. Cancellation is supported lazily: a
- * cancelled event stays in the heap but is discarded when it reaches the
- * top.
+ * cancelled event's heap entry stays behind as a tombstone and is
+ * discarded when it reaches the top.
+ *
+ * Internals (the hot path of every simulation — see DESIGN.md §7):
+ * events live in a pooled slot vector recycled through an intrusive free
+ * list, so steady-state scheduling performs no allocation. The binary
+ * heap orders bare slot indices, never whole entries, so sift-up/down
+ * moves 4-byte integers and callbacks are moved exactly twice in their
+ * life (in at schedule(), out at pop()) — never copied. EventIds carry a
+ * per-slot generation stamp, making pending()/cancel() O(1) array
+ * lookups with no hashing; a reused slot bumps its generation, so stale
+ * ids from fired or cancelled events can never resurrect.
  */
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
 
 namespace leaseos::sim {
 
-/** Opaque handle identifying a scheduled event; 0 is "invalid". */
+/**
+ * Opaque handle identifying a scheduled event; 0 is "invalid".
+ * Layout: low 32 bits = slot index + 1, high 32 bits = slot generation.
+ */
 using EventId = std::uint64_t;
 
 constexpr EventId kInvalidEventId = 0;
@@ -52,13 +64,18 @@ class EventQueue
     bool cancel(EventId id);
 
     /** @return true if @p id is scheduled and not yet fired or cancelled. */
-    bool pending(EventId id) const { return live_.count(id) != 0; }
+    bool
+    pending(EventId id) const
+    {
+        const Slot *slot = decode(id);
+        return slot != nullptr && slot->live;
+    }
 
     /** @return true if there is no live pending event. */
-    bool empty() const { return live_.empty(); }
+    bool empty() const { return liveCount_ == 0; }
 
     /** Number of live (non-cancelled) pending events. */
-    std::size_t size() const { return live_.size(); }
+    std::size_t size() const { return liveCount_; }
 
     /** Timestamp of the earliest live event. Requires !empty(). */
     Time nextTime();
@@ -73,38 +90,80 @@ class EventQueue
     std::uint64_t scheduledCount() const { return nextSeq_; }
 
   private:
-    struct Entry {
+    /** Free-list terminator / "no slot" marker. */
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+    /**
+     * One pooled event. A slot is allocated from schedule() until its
+     * heap entry is removed (at pop() or when a tombstone surfaces), then
+     * recycled via the free list with its generation bumped.
+     */
+    struct Slot {
         Time when;
-        std::uint64_t seq;
-        EventId id;
+        std::uint64_t seq = 0;
+        std::uint32_t gen = 0;
+        bool live = false;            ///< scheduled, not fired/cancelled
+        std::uint32_t nextFree = kNoSlot;
         Callback cb;
     };
 
-    struct Later {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when) return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+    static EventId
+    makeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<EventId>(gen) << 32) |
+               (static_cast<EventId>(slot) + 1);
+    }
 
-    /** Drop cancelled entries from the top of the heap. */
+    /** Decode an id to its slot, or nullptr if malformed or stale. */
+    const Slot *
+    decode(EventId id) const
+    {
+        std::uint32_t low = static_cast<std::uint32_t>(id);
+        if (low == 0) return nullptr;
+        std::uint32_t index = low - 1;
+        if (index >= slots_.size()) return nullptr;
+        const Slot &slot = slots_[index];
+        if (slot.gen != static_cast<std::uint32_t>(id >> 32))
+            return nullptr;
+        return &slot;
+    }
+
+    /** Strict (when, seq) ordering between two slots' events. */
+    bool
+    earlier(std::uint32_t a, std::uint32_t b) const
+    {
+        const Slot &sa = slots_[a];
+        const Slot &sb = slots_[b];
+        if (sa.when != sb.when) return sa.when < sb.when;
+        return sa.seq < sb.seq;
+    }
+
+    void siftUp(std::size_t pos);
+    void siftDown(std::size_t pos);
+
+    /** Remove the heap root (replace with last entry, restore order). */
+    void popHeapTop();
+
+    /** Recycle a slot: bump generation, drop callback, push free list. */
+    void recycleSlot(std::uint32_t index);
+
+    /** Drop tombstones (cancelled entries) from the top of the heap. */
     void skipDead();
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
     /**
-     * Ids of scheduled-and-not-yet-fired/cancelled events. Audited for
-     * iteration-order leakage: the set is membership-only (count / erase /
-     * empty / size) and is never iterated, so its unspecified order cannot
-     * reach event ordering, metrics, or sink output. Keep it that way — an
-     * ordered alternative would put an O(log n) lookup on the hot path of
-     * every schedule/cancel/pop.
+     * Sweep every tombstone out of the heap and re-heapify (Floyd build,
+     * O(n)). Triggered from cancel() once tombstones outnumber live
+     * entries, which bounds the pool at ~2x the live event count and
+     * keeps cancel() amortized O(1). Ordering is unaffected: the heap is
+     * rebuilt under the same total (when, seq) order.
      */
-    // leaselint: allow(determinism) -- membership-only set, never iterated
-    std::unordered_set<EventId> live_;
+    void compact();
+
+    std::vector<Slot> slots_;          ///< pooled event storage
+    std::vector<std::uint32_t> heap_;  ///< binary min-heap of slot indices
+    std::uint32_t freeHead_ = kNoSlot; ///< intrusive free-list head
+    std::size_t liveCount_ = 0;
     std::uint64_t nextSeq_ = 0;
-    EventId nextId_ = 1;
 };
 
 } // namespace leaseos::sim

@@ -22,7 +22,7 @@ PeriodicHandle::active() const
            state_->sim->pending(state_->current);
 }
 
-EventId
+void
 Simulator::schedulePeriodic(Time period, std::function<bool()> cb)
 {
     // The repeating closure owns the user callback and re-schedules itself
@@ -44,7 +44,7 @@ Simulator::schedulePeriodic(Time period, std::function<bool()> cb)
     rep->sim = this;
     rep->period = period;
     rep->cb = std::move(cb);
-    return schedule(period, [rep] { rep->fire(); });
+    schedule(period, [rep] { rep->fire(); });
 }
 
 PeriodicHandle

@@ -105,15 +105,17 @@ class Simulator
     }
 
     /**
-     * Schedule a repeating callback with fixed period. The callback may
-     * return false to stop the repetition.
+     * Schedule a repeating callback with fixed period. The callback
+     * returns false to stop the repetition (cooperative shutdown is the
+     * *only* stop channel of this overload).
      *
-     * The returned id cancels only the *currently pending* occurrence; use
-     * the bool return from the callback for cooperative shutdown, or prefer
-     * the void-callback overload below, whose PeriodicHandle cancels the
-     * whole repetition.
+     * Deliberately returns nothing: the EventId this overload used to
+     * return named only the first occurrence, so cancelling it after the
+     * first fire silently failed. Callers that need to stop a repetition
+     * from outside use the void-callback overload below, whose
+     * PeriodicHandle cancels the whole repetition at any point.
      */
-    EventId schedulePeriodic(Time period, std::function<bool()> cb);
+    void schedulePeriodic(Time period, std::function<bool()> cb);
 
     /**
      * Schedule a repeating callback owned by the returned RAII handle:

@@ -74,8 +74,13 @@ Histogram::quantile(double q) const
 {
     if (count_ == 0) return lo_;
     q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-th sample. q=1.0 must select the *last* sample (rank
+    // count_-1), not the one-past-the-end rank count_ — otherwise the
+    // scan always falls through to hi_ even when every sample sits in a
+    // low bucket and there is no overflow mass.
     auto target = static_cast<std::uint64_t>(
         q * static_cast<double>(count_));
+    if (target >= count_) target = count_ - 1;
     std::uint64_t seen = underflow_;
     if (seen > target) return lo_;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {

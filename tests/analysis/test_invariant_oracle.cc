@@ -175,7 +175,7 @@ TEST(InvariantOracle, Table5CellAuditsCleanUnderLeaseOS)
                                .withSeed(opt.seed));
     spec.install(device);
     spec.trigger(device);
-    harness::installGlanceScript(device, opt);
+    sim::PeriodicHandle glances = harness::installGlanceScript(device, opt);
     device.start();
     device.runFor(10_min);
 

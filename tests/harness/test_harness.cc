@@ -132,7 +132,7 @@ TEST(ExperimentTest, GlanceScriptWakesDeviceBriefly)
     MitigationRunOptions opt;
     opt.glanceInterval = 2_min;
     opt.glanceLength = 10_s;
-    installGlanceScript(device, opt);
+    sim::PeriodicHandle glances = installGlanceScript(device, opt);
     device.start();
     device.runFor(10_min);
     // ~5 glances x 10 s of screen-on.

@@ -195,6 +195,89 @@ TEST(ParallelRunnerTest, ParseArgsReadsJobsFlag)
     const char *argv4[] = {"bench"};
     EXPECT_EQ(ParallelRunner::parseArgs(
                   1, const_cast<char **>(argv4)).jobs, 0);
+    // Separated short form (regression: used to be silently ignored).
+    const char *argv5[] = {"bench", "-j", "7"};
+    EXPECT_EQ(ParallelRunner::parseArgs(
+                  3, const_cast<char **>(argv5)).jobs, 7);
+    // Other flags are left for the bench to interpret.
+    const char *argv6[] = {"bench", "--devices=50", "--jobs=4"};
+    EXPECT_EQ(ParallelRunner::parseArgs(
+                  3, const_cast<char **>(argv6)).jobs, 4);
+}
+
+TEST(ParallelRunnerTest, ParseJobsIsStrict)
+{
+    // Regression: atoi turned "abc" into 0 (= automatic), silently
+    // ignoring the user's (mistyped) request.
+    EXPECT_EQ(ParallelRunner::parseJobs("3"), 3);
+    EXPECT_EQ(ParallelRunner::parseJobs("0"), 0);
+    EXPECT_EQ(ParallelRunner::parseJobs("64"), 64);
+    EXPECT_FALSE(ParallelRunner::parseJobs("abc").has_value());
+    EXPECT_FALSE(ParallelRunner::parseJobs("3abc").has_value());
+    EXPECT_FALSE(ParallelRunner::parseJobs("-2").has_value());
+    EXPECT_FALSE(ParallelRunner::parseJobs("+2").has_value());
+    EXPECT_FALSE(ParallelRunner::parseJobs("").has_value());
+    EXPECT_FALSE(ParallelRunner::parseJobs(nullptr).has_value());
+    EXPECT_FALSE(ParallelRunner::parseJobs("999999999").has_value());
+}
+
+TEST(ParallelRunnerDeathTest, MalformedJobsFlagExitsWithUsage)
+{
+    const char *garbage[] = {"bench", "--jobs=abc"};
+    EXPECT_EXIT(ParallelRunner::parseArgs(2, const_cast<char **>(garbage)),
+                ::testing::ExitedWithCode(2), "usage");
+    const char *shortGarbage[] = {"bench", "-jxyz"};
+    EXPECT_EXIT(
+        ParallelRunner::parseArgs(2, const_cast<char **>(shortGarbage)),
+        ::testing::ExitedWithCode(2), "usage");
+    const char *missing[] = {"bench", "--jobs"};
+    EXPECT_EXIT(ParallelRunner::parseArgs(2, const_cast<char **>(missing)),
+                ::testing::ExitedWithCode(2), "usage");
+}
+
+TEST(GlanceScriptTest, OverlappingGlancesKeepScreenOn)
+{
+    // Regression: with glanceLength > glanceInterval, glance N's
+    // screen-off event fired mid-glance N+1, blanking the screen and
+    // parking the user while a glance was still in progress.
+    Device device;
+    sim::PeriodicHandle glances =
+        installGlanceScript(device, /*interval=*/60_s, /*length=*/90_s);
+    device.start();
+    // Glances start at 60, 120, 180, ...; each lasts 90 s, so from 60 s
+    // on the screen must never be user-off again. Glance 1's off event
+    // (t=150) lands inside glance 2 and must be ignored.
+    device.runFor(155_s);
+    EXPECT_TRUE(device.server().displayManager().userWantsOn())
+        << "a stale screen-off event blanked the screen mid-glance";
+    EXPECT_FALSE(device.motion().stationary())
+        << "a stale off event parked the user mid-glance";
+}
+
+TEST(GlanceScriptTest, NonOverlappingGlancesStillEnd)
+{
+    // The guard must not break the normal case: with length < interval
+    // the screen goes off between glances.
+    Device device;
+    sim::PeriodicHandle glances =
+        installGlanceScript(device, /*interval=*/60_s, /*length=*/10_s);
+    device.start();
+    device.runFor(95_s); // glance 1 span is [60, 70); probe at 95.
+    EXPECT_FALSE(device.server().displayManager().userWantsOn());
+    EXPECT_TRUE(device.motion().stationary());
+}
+
+TEST(GlanceScriptTest, HandleStopsTheScript)
+{
+    Device device;
+    sim::PeriodicHandle glances = installGlanceScript(device, 60_s, 10_s);
+    device.start();
+    device.runFor(65_s);
+    EXPECT_TRUE(device.server().displayManager().userWantsOn());
+    glances.cancel();
+    device.runFor(300_s);
+    // No further glances: the screen stays off after glance 1 ended.
+    EXPECT_FALSE(device.server().displayManager().userWantsOn());
 }
 
 } // namespace

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Golden-output determinism tests for the simulator core.
+ *
+ * The JSON documents under tests/golden/ were captured with the original
+ * std::priority_queue + std::unordered_set EventQueue. The slot-based
+ * intrusive-heap queue (and any future core change) must reproduce them
+ * byte for byte: one full Table-5 mitigation cell and one multi-spec
+ * ParallelRunner sweep, serialised at full precision.
+ *
+ * Regenerating (only when an *intended* behaviour change lands):
+ *
+ *     LEASEOS_REGEN_GOLDEN=1 ./build/tests/test_determinism_golden
+ *
+ * rewrites the files in the source tree; the diff then documents the
+ * behaviour change for review.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "apps/registry.h"
+#include "harness/experiment.h"
+#include "harness/result_sink.h"
+#include "harness/runner.h"
+#include "lease/behavior.h"
+
+#ifndef LEASEOS_TEST_GOLDEN_DIR
+#error "LEASEOS_TEST_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace leaseos::harness {
+namespace {
+
+using ResultValue = ResultSink::Value;
+
+/** Serialise every RunResult field at full precision, stable key order. */
+ResultSink::Row
+resultRow(const RunResult &r)
+{
+    ResultSink::Row row;
+    row.emplace_back("name", ResultValue::str(r.name));
+    row.emplace_back("specIndex",
+                     ResultValue::count(
+                         static_cast<std::int64_t>(r.specIndex)));
+    row.emplace_back("seed", ResultValue::count(
+                                 static_cast<std::int64_t>(r.seed)));
+    row.emplace_back("appPowerMw", ResultValue::num(r.appPowerMw, 9));
+    row.emplace_back("systemPowerMw",
+                     ResultValue::num(r.systemPowerMw, 9));
+    for (std::size_t i = 0; i < r.perAppPowerMw.size(); ++i)
+        row.emplace_back("app" + std::to_string(i) + "PowerMw",
+                         ResultValue::num(r.perAppPowerMw[i], 9));
+    row.emplace_back("deferrals",
+                     ResultValue::count(
+                         static_cast<std::int64_t>(r.deferrals)));
+    row.emplace_back("termChecks",
+                     ResultValue::count(
+                         static_cast<std::int64_t>(r.termChecks)));
+    row.emplace_back("leasesCreated",
+                     ResultValue::count(
+                         static_cast<std::int64_t>(r.leasesCreated)));
+    for (const auto &[behavior, count] : r.behaviorCounts)
+        row.emplace_back(std::string("behavior") +
+                             lease::behaviorName(behavior),
+                         ResultValue::count(
+                             static_cast<std::int64_t>(count)));
+    for (const auto &[name, value] : r.probes)
+        row.emplace_back("probe:" + name, ResultValue::num(value, 9));
+    return row;
+}
+
+std::string
+goldenPath(const std::string &file)
+{
+    return std::string(LEASEOS_TEST_GOLDEN_DIR) + "/" + file;
+}
+
+/** Compare @p document against the golden file (or regenerate it). */
+void
+checkAgainstGolden(const std::string &file, const std::string &document)
+{
+    const std::string path = goldenPath(file);
+    if (std::getenv("LEASEOS_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << document;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (run with LEASEOS_REGEN_GOLDEN=1 to create it)";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(document, expected.str())
+        << "simulation output diverged from the golden capture; if the "
+           "change is intentional, regenerate with LEASEOS_REGEN_GOLDEN=1 "
+           "and review the diff";
+}
+
+TEST(DeterminismGoldenTest, Table5CellByteIdentical)
+{
+    // One full Table-5 cell: the torch app (screen wakelock, LHB) under
+    // LeaseOS — 30 minutes, Pixel XL, 100 ms sampling, user glances.
+    MitigationRunOptions opt;
+    RunSpec spec = mitigationCellSpec(apps::buggySpec("torch"),
+                                      MitigationMode::LeaseOS, opt);
+    RunResult result = runScenario(spec);
+
+    JsonSink json;
+    json.begin("golden_table5_cell",
+               "torch x LeaseOS, 30 min Pixel XL, seed 0x1ea5e05");
+    json.addRow(resultRow(result));
+    json.finish();
+    checkAgainstGolden("table5_cell_torch_leaseos.json", json.document());
+}
+
+TEST(DeterminismGoldenTest, RunnerSweepByteIdentical)
+{
+    // A small ParallelRunner sweep: three apps x two modes with derived
+    // seeds, run on several workers. Exercises the queue across Devices.
+    const MitigationMode modes[] = {MitigationMode::None,
+                                    MitigationMode::LeaseOS};
+    MitigationRunOptions opt;
+    opt.duration = sim::Time::fromMinutes(10.0);
+
+    std::vector<RunSpec> specs;
+    for (const char *key : {"k9", "gpslogger", "kontalk"})
+        for (MitigationMode mode : modes)
+            specs.push_back(
+                mitigationCellSpec(apps::buggySpec(key), mode, opt));
+
+    RunnerOptions options;
+    options.jobs = 4;
+    options.baseSeed = 0x601dca5cULL;
+    ParallelRunner runner(options);
+    auto results = runner.run(specs);
+
+    JsonSink json;
+    json.begin("golden_runner_sweep",
+               "k9/gpslogger/kontalk x none/leaseos, 10 min, jobs=4");
+    for (const auto &r : results) json.addRow(resultRow(r));
+    json.finish();
+    checkAgainstGolden("runner_sweep.json", json.document());
+}
+
+} // namespace
+} // namespace leaseos::harness

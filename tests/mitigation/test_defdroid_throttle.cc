@@ -147,5 +147,28 @@ TEST_F(ThrottleTest, ReleaseBeforeLimitIsSafe)
     EXPECT_EQ(device.throttler()->revocations(), 0u);
 }
 
+TEST(DefDroidLifetimeTest, DestroyedControllerStopsPolling)
+{
+    // Regression: the poll loop was a legacy periodic whose EventId went
+    // stale after the first fire, so a destroyed controller left an
+    // unstoppable repetition behind — polling freed memory. The scoped
+    // handle cancels the pending poll on destruction.
+    harness::Device device; // MitigationMode::None: no built-in defdroid
+    device.start();
+    auto &sim = device.simulator();
+    std::size_t before = sim.pendingEvents();
+    std::size_t during = 0;
+    {
+        DefDroidController controller(sim, device.server());
+        controller.start();
+        EXPECT_EQ(sim.pendingEvents(), before + 1)
+            << "start() schedules exactly one poll tick";
+        device.runFor(25_s); // several polls fire and re-arm
+        during = sim.pendingEvents();
+    }
+    EXPECT_EQ(sim.pendingEvents(), during - 1)
+        << "destroying the controller must cancel its pending poll";
+}
+
 } // namespace
 } // namespace leaseos::mitigation

@@ -115,5 +115,28 @@ TEST(PowerProfilerTest, StopHaltsSampling)
     EXPECT_LE(profiler.totalSeries().size(), 4u);
 }
 
+TEST(PowerProfilerTest, StopCancelsThePendingTickImmediately)
+{
+    // Regression: the legacy periodic left its next occurrence in the
+    // queue after stop() (the cooperative flag only took effect when the
+    // zombie event fired), so a "stopped" profiler still owned a pending
+    // event — a stale-id hazard and a drain blocker for run-to-empty.
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    PowerProfiler profiler(sim, acc, 1_s);
+    profiler.start();
+    sim.runFor(3_s);
+    EXPECT_EQ(profiler.totalSeries().size(), 3u);
+    profiler.stop();
+    EXPECT_EQ(sim.pendingEvents(), 0u)
+        << "stop() must cancel the pending sampling tick";
+    EXPECT_EQ(sim.run(), 3_s) << "queue drains at the stop point";
+    // And the profiler is restartable afterwards.
+    profiler.start();
+    sim.runFor(2_s);
+    EXPECT_EQ(profiler.totalSeries().size(), 5u);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+}
+
 } // namespace
 } // namespace leaseos::power

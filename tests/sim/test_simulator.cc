@@ -174,18 +174,41 @@ TEST(PeriodicHandleTest, CallbackMayCancelItsOwnHandle)
     EXPECT_FALSE(handle.active());
 }
 
-TEST(PeriodicHandleTest, BoolCallbackOverloadStillReturnsEventId)
+TEST(PeriodicHandleTest, BoolCallbackOverloadHasNoStaleIdChannel)
 {
     Simulator sim;
     int count = 0;
-    // A bool-returning callback selects the legacy cooperative overload.
-    EventId id = sim.schedulePeriodic(1_s, [&] {
+    // A bool-returning callback selects the legacy cooperative overload,
+    // which deliberately returns nothing: the EventId it used to return
+    // went stale after the first fire, so cancelling it silently failed.
+    static_assert(
+        std::is_void_v<decltype(sim.schedulePeriodic(
+            1_s, std::function<bool()>([] { return false; })))>,
+        "legacy overload must not hand out a first-occurrence EventId");
+    sim.schedulePeriodic(1_s, [&] {
         ++count;
         return count < 2;
     });
-    EXPECT_TRUE(sim.pending(id));
     sim.run();
     EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicHandleTest, HandleCancelWorksAfterManyFires)
+{
+    // Regression: the repetition must stay cancellable long after the
+    // first occurrence fired (the stale-EventId failure mode).
+    Simulator sim;
+    int count = 0;
+    PeriodicHandle handle = sim.schedulePeriodic(1_s, [&] { ++count; });
+    sim.run(50_s);
+    EXPECT_EQ(count, 50);
+    EXPECT_TRUE(handle.active());
+    handle.cancel();
+    std::size_t pendingAfterCancel = sim.pendingEvents();
+    sim.run(100_s);
+    EXPECT_EQ(count, 50);
+    EXPECT_EQ(pendingAfterCancel, 0u)
+        << "cancelling the handle must remove the pending occurrence";
 }
 
 TEST(SimulatorTest, ExecutedEventsCounted)

@@ -78,6 +78,44 @@ TEST(HistogramTest, QuantileApproximation)
     EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
 }
 
+TEST(HistogramTest, QuantileOneReturnsLastSampleNotHi)
+{
+    // Regression: q=1.0 targeted the one-past-the-end rank and always
+    // fell through to hi_, even with every sample far below it.
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 50; ++i) h.record(5.0 + 0.001 * i);
+    EXPECT_NEAR(h.quantile(1.0), 6.0, 1.0);
+    EXPECT_LT(h.quantile(1.0), 10.0) << "all mass sits in [5, 6)";
+}
+
+TEST(HistogramTest, QuantileEndpointsPinnedOnKnownData)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (double v : {1.5, 1.5, 1.5, 1.5, 8.5}) h.record(v);
+    // Rank 0 and the median are in the [1, 2) bucket.
+    EXPECT_GE(h.quantile(0.0), 1.0);
+    EXPECT_LT(h.quantile(0.0), 2.0);
+    EXPECT_GE(h.quantile(0.5), 1.0);
+    EXPECT_LT(h.quantile(0.5), 2.0);
+    // The last sample sits in [8, 9): q=1.0 must land there, not at 10.
+    EXPECT_GE(h.quantile(1.0), 8.0);
+    EXPECT_LT(h.quantile(1.0), 9.0);
+}
+
+TEST(HistogramTest, QuantileUnderOverflowStillClamped)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.record(-5.0); // underflow
+    h.record(2.5);
+    h.record(50.0); // overflow
+    EXPECT_EQ(h.quantile(0.0), 0.0);  // rank 0 is the underflow sample
+    EXPECT_GE(h.quantile(0.5), 2.0);  // median is the in-range sample
+    EXPECT_LT(h.quantile(0.5), 3.0);
+    EXPECT_EQ(h.quantile(1.0), 10.0); // rank 2 is the overflow sample
+    Histogram empty(0.0, 10.0, 10);
+    EXPECT_EQ(empty.quantile(1.0), 0.0); // lo_ when empty
+}
+
 TEST(HistogramTest, ToStringContainsCounts)
 {
     Histogram h(0.0, 2.0, 2);

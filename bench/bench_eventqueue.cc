@@ -35,6 +35,7 @@
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/time.h"
+#include "support/alloc_counter.h"
 
 using namespace leaseos;
 using sim::EventId;
@@ -65,7 +66,25 @@ struct WorkloadResult {
     std::string name;
     std::uint64_t ops = 0;
     double nsPerOp = 0.0;
+    /** Heap allocations per op once the queue reached steady state. */
+    double allocsPerOp = 0.0;
 };
+
+/**
+ * Steady-state allocations per op: run @p warm once (sizing the slot
+ * pool, heap, and inline-callback storage), then count global operator-new
+ * calls across @p steady, which performs @p ops operations.
+ */
+template <typename Warm, typename Steady>
+double
+measureAllocs(std::uint64_t ops, Warm warm, Steady steady)
+{
+    warm();
+    std::uint64_t a0 = benchsupport::allocCount();
+    steady();
+    std::uint64_t a1 = benchsupport::allocCount();
+    return static_cast<double>(a1 - a0) / static_cast<double>(ops);
+}
 
 /** Run @p body (returning its op count) @p reps times; keep the best. */
 template <typename F>
@@ -104,12 +123,19 @@ WorkloadResult
 benchSchedulePop(std::uint64_t n, int reps)
 {
     auto times = randomTimes(n, 0xbe7c1);
-    return measure("schedule_pop", reps, [&] {
+    auto result = measure("schedule_pop", reps, [&] {
         EventQueue q;
         for (Time t : times) q.schedule(t, makeCallback());
         while (!q.empty()) q.pop().second();
         return 2 * n;
     });
+    EventQueue q;
+    auto cycle = [&] {
+        for (Time t : times) q.schedule(t, makeCallback());
+        while (!q.empty()) q.pop().second();
+    };
+    result.allocsPerOp = measureAllocs(2 * n, cycle, cycle);
+    return result;
 }
 
 WorkloadResult
@@ -117,20 +143,28 @@ benchScheduleCancel(std::uint64_t n, int reps)
 {
     auto times = randomTimes(n, 0xbe7c2);
     std::vector<EventId> ids(n);
-    return measure("schedule_cancel", reps, [&] {
+    auto result = measure("schedule_cancel", reps, [&] {
         EventQueue q;
         for (std::uint64_t i = 0; i < n; ++i)
             ids[i] = q.schedule(times[i], makeCallback());
         for (EventId id : ids) q.cancel(id);
         return 2 * n;
     });
+    EventQueue q;
+    auto cycle = [&] {
+        for (std::uint64_t i = 0; i < n; ++i)
+            ids[i] = q.schedule(times[i], makeCallback());
+        for (EventId id : ids) q.cancel(id);
+    };
+    result.allocsPerOp = measureAllocs(2 * n, cycle, cycle);
+    return result;
 }
 
 WorkloadResult
 benchSteadyChurn(std::uint64_t n, std::uint64_t window, int reps)
 {
     auto times = randomTimes(n + window, 0xbe7c3);
-    return measure("steady_churn", reps, [&] {
+    auto result = measure("steady_churn", reps, [&] {
         EventQueue q;
         std::uint64_t next = 0;
         Time base = Time::zero();
@@ -145,13 +179,33 @@ benchSteadyChurn(std::uint64_t n, std::uint64_t window, int reps)
         while (!q.empty()) q.pop();
         return 2 * n;
     });
+    // Alloc oracle: filling the window sizes the pool; the churn loop
+    // itself must then be allocation-free (DESIGN.md §8).
+    EventQueue q;
+    std::uint64_t next = 0;
+    Time base = Time::zero();
+    result.allocsPerOp = measureAllocs(
+        2 * n,
+        [&] {
+            for (std::uint64_t i = 0; i < window; ++i)
+                q.schedule(times[next++], makeCallback());
+        },
+        [&] {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                auto [when, cb] = q.pop();
+                base = when;
+                cb();
+                q.schedule(base + times[next++], makeCallback());
+            }
+        });
+    return result;
 }
 
 WorkloadResult
 benchCancelChurn(std::uint64_t n, std::uint64_t window, int reps)
 {
     auto times = randomTimes(n + window, 0xbe7c4);
-    return measure("cancel_churn", reps, [&] {
+    auto result = measure("cancel_churn", reps, [&] {
         EventQueue q;
         std::deque<EventId> live;
         std::uint64_t next = 0;
@@ -165,6 +219,31 @@ benchCancelChurn(std::uint64_t n, std::uint64_t window, int reps)
         while (!q.empty()) q.pop();
         return 2 * n;
     });
+    // Warm with the first half of the churn (lazy-cancel tombstones grow
+    // the heap to its high-water mark), then count over the second half.
+    // A fixed ring (not a deque) holds the live ids so the harness itself
+    // cannot allocate inside the counted region.
+    EventQueue q;
+    std::vector<EventId> live(window);
+    std::uint64_t head = 0;
+    std::uint64_t next = 0;
+    std::uint64_t half = n / 2;
+    auto churn = [&](std::uint64_t ops) {
+        for (std::uint64_t i = 0; i < ops; ++i) {
+            q.cancel(live[head]);
+            live[head] = q.schedule(times[next++], makeCallback());
+            head = (head + 1) % window;
+        }
+    };
+    result.allocsPerOp = measureAllocs(
+        2 * (n - half),
+        [&] {
+            for (std::uint64_t i = 0; i < window; ++i)
+                live[i] = q.schedule(times[next++], makeCallback());
+            churn(half);
+        },
+        [&] { churn(n - half); });
+    return result;
 }
 
 } // namespace
@@ -202,7 +281,9 @@ main(int argc, char **argv)
                      {"ops", harness::ResultSink::Value::count(
                                  static_cast<std::int64_t>(r.ops))},
                      {"ns_per_op",
-                      harness::ResultSink::Value::num(r.nsPerOp, 2)}});
+                      harness::ResultSink::Value::num(r.nsPerOp, 2)},
+                     {"allocs_per_op",
+                      harness::ResultSink::Value::num(r.allocsPerOp, 6)}});
     }
     sink.finish();
     std::fprintf(stderr, "[bench_eventqueue] fired=%llu\n",

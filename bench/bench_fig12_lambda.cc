@@ -40,6 +40,7 @@ double
 wastedEnergyMj(harness::Device &device, Uid uid, double normalSeconds)
 {
     auto &acc = device.accountant();
+    acc.sync();
     power::ChannelId idle = acc.channelByName("cpu_idle");
     double idle_mj = acc.uidChannelEnergyMj(uid, idle);
     double legitimate =

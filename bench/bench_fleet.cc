@@ -33,6 +33,7 @@
 #include "harness/experiment.h"
 #include "harness/result_sink.h"
 #include "harness/runner.h"
+#include "support/alloc_counter.h"
 
 using namespace leaseos;
 using harness::MitigationMode;
@@ -143,7 +144,9 @@ main(int argc, char **argv)
                  devices, minutes, runner.jobs());
 
     std::int64_t t0 = nowNanos();
+    std::uint64_t allocs0 = benchsupport::allocCount();
     auto results = runner.run(specs);
+    std::uint64_t allocs = benchsupport::allocCount() - allocs0;
     double wallSec = static_cast<double>(nowNanos() - t0) / 1e9;
 
     // Aggregate per mode and per (behaviour class, mode).
@@ -217,11 +220,16 @@ main(int argc, char **argv)
                         static_cast<std::int64_t>(totalEvents))},
          {"wall_s", ResultSink::Value::num(wallSec, 3)},
          {"events_per_s", ResultSink::Value::num(totalEvents / wallSec,
-                                                 0)}});
+                                                 0)},
+         {"allocs", ResultSink::Value::count(
+                        static_cast<std::int64_t>(allocs))},
+         {"allocs_per_event",
+          ResultSink::Value::num(
+              static_cast<double>(allocs) / totalEvents, 4)}});
     sink.finish();
     std::printf("\nSimulated %.0f events in %.2f s wall — %.0f events/s "
-                "across %d worker(s).\n",
-                totalEvents, wallSec, totalEvents / wallSec,
-                runner.jobs());
+                "across %d worker(s); %.4f heap allocs/event.\n",
+                totalEvents, wallSec, totalEvents / wallSec, runner.jobs(),
+                static_cast<double>(allocs) / totalEvents);
     return 0;
 }

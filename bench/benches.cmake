@@ -12,3 +12,12 @@ foreach(bench_src ${BENCH_SOURCES})
     set_target_properties(${bench_name} PROPERTIES
         RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endforeach()
+
+# The hot-path benches additionally link the counting operator new/delete
+# so they can report allocs/op (the DESIGN.md §8 zero-allocation proof).
+foreach(bench_name bench_eventqueue bench_fleet)
+    target_sources(${bench_name} PRIVATE
+        ${CMAKE_CURRENT_LIST_DIR}/support/alloc_counter.cc)
+    target_include_directories(${bench_name} PRIVATE
+        ${CMAKE_CURRENT_LIST_DIR})
+endforeach()

@@ -1,0 +1,147 @@
+#include "support/alloc_counter.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace leaseos::benchsupport {
+
+namespace detail {
+std::atomic<std::uint64_t> allocCalls{0};
+} // namespace detail
+
+std::uint64_t
+allocCount()
+{
+    return detail::allocCalls.load(std::memory_order_relaxed);
+}
+
+} // namespace leaseos::benchsupport
+
+namespace {
+
+void *
+countedAlloc(std::size_t size, std::size_t align)
+{
+    leaseos::benchsupport::detail::allocCalls.fetch_add(
+        1, std::memory_order_relaxed);
+    if (size == 0) size = 1;
+    void *p;
+    if (align > alignof(std::max_align_t)) {
+        // aligned_alloc requires size to be a multiple of the alignment.
+        std::size_t rounded = (size + align - 1) / align * align;
+        p = std::aligned_alloc(align, rounded);
+    } else {
+        p = std::malloc(size);
+    }
+    return p;
+}
+
+} // namespace
+
+// ---- Replacement global allocation functions ---------------------------
+
+void *
+operator new(std::size_t size)
+{
+    void *p = countedAlloc(size, alignof(std::max_align_t));
+    if (!p) throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    void *p = countedAlloc(size, alignof(std::max_align_t));
+    if (!p) throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *p = countedAlloc(size, static_cast<std::size_t>(align));
+    if (!p) throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    void *p = countedAlloc(size, static_cast<std::size_t>(align));
+    if (!p) throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size, alignof(std::max_align_t));
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size, alignof(std::max_align_t));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}

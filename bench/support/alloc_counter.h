@@ -1,0 +1,28 @@
+#ifndef LEASEOS_BENCH_SUPPORT_ALLOC_COUNTER_H
+#define LEASEOS_BENCH_SUPPORT_ALLOC_COUNTER_H
+
+/**
+ * @file
+ * Global allocation oracle for benchmarks.
+ *
+ * Linking alloc_counter.cc into a binary replaces the global
+ * operator new/delete with counting versions, so a bench can prove a
+ * code path is allocation-free rather than assume it: read allocCount()
+ * before and after the measured region and report the delta per op.
+ * DESIGN.md §8's "0 allocs per steady-state event" claim is enforced in
+ * CI with exactly this hook (see the perf-bench job).
+ *
+ * Deliberately not linked into the core library or tests-by-default:
+ * only the bench targets that report allocs/op pull it in.
+ */
+
+#include <cstdint>
+
+namespace leaseos::benchsupport {
+
+/** Number of global operator-new calls since process start. */
+std::uint64_t allocCount();
+
+} // namespace leaseos::benchsupport
+
+#endif // LEASEOS_BENCH_SUPPORT_ALLOC_COUNTER_H

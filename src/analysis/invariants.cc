@@ -168,6 +168,8 @@ InvariantOracle::auditEnergy(sim::Time now,
                              power::EnergyAccountant &accountant,
                              power::Battery &battery, double tolerance)
 {
+    // Readers return synced state: one sync here covers the whole audit.
+    accountant.sync();
     double total = accountant.totalEnergyMj();
 
     double uidSum = 0.0;

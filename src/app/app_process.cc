@@ -6,30 +6,30 @@ namespace leaseos::app {
 
 AppProcess::AppProcess(sim::Simulator &sim, power::CpuModel &cpu, Uid uid,
                        std::string name)
-    : sim_(sim), cpu_(cpu), uid_(uid), name_(std::move(name)),
-      alive_(std::make_shared<bool>(true))
+    : sim_(sim), uid_(uid), name_(std::move(name)),
+      state_(std::make_shared<State>(State{cpu}))
 {
 }
 
 AppProcess::~AppProcess()
 {
-    *alive_ = false;
+    state_->alive = false;
 }
 
 void
 AppProcess::post(sim::Time delay, std::function<void()> fn)
 {
-    if (!*alive_) return;
-    auto alive = alive_;
-    auto guarded = [alive, fn = std::move(fn)] {
-        if (*alive) fn();
-    };
-    sim_.schedule(delay, [this, alive, guarded = std::move(guarded)] {
-        if (!*alive) return;
-        if (cpu_.isAwake()) {
-            guarded();
+    if (!state_->alive) return;
+    // Capture exactly {shared_ptr, std::function} = 48 bytes: the whole
+    // continuation sits in the event slot's inline storage.
+    sim_.schedule(delay, [st = state_, fn = std::move(fn)]() mutable {
+        if (!st->alive) return;
+        if (st->cpu.isAwake()) {
+            fn();
         } else {
-            cpu_.notifyOnWake(guarded);
+            st->cpu.notifyOnWake([st, fn = std::move(fn)] {
+                if (st->alive) fn();
+            });
         }
     });
 }
@@ -43,21 +43,21 @@ AppProcess::postNow(std::function<void()> fn)
 void
 AppProcess::compute(double load, sim::Time duration)
 {
-    cpu_.runWorkFor(uid_, load, duration);
+    state_->cpu.runWorkFor(uid_, load, duration);
 }
 
 void
 AppProcess::computeScaled(double load, sim::Time referenceDuration)
 {
-    double factor = cpu_.profile().perfFactor;
+    double factor = state_->cpu.profile().perfFactor;
     if (factor <= 0.0) factor = 1.0;
-    cpu_.runWorkFor(uid_, load, referenceDuration / factor);
+    state_->cpu.runWorkFor(uid_, load, referenceDuration / factor);
 }
 
 void
 AppProcess::kill()
 {
-    *alive_ = false;
+    state_->alive = false;
 }
 
 } // namespace leaseos::app

@@ -38,7 +38,7 @@ class AppProcess
 
     Uid uid() const { return uid_; }
     const std::string &name() const { return name_; }
-    bool alive() const { return *alive_; }
+    bool alive() const { return state_->alive; }
 
     /**
      * Run @p fn after @p delay of virtual time, but never while the CPU
@@ -67,12 +67,23 @@ class AppProcess
     void kill();
 
   private:
+    /**
+     * The shared context queued closures capture: the CPU handle and the
+     * liveness flag in a single shared_ptr (16 bytes in the capture), so a
+     * posted continuation — this struct plus the user's std::function —
+     * fits sim::InlineCallback's inline storage exactly and scheduling a
+     * post never allocates.
+     */
+    struct State {
+        power::CpuModel &cpu;
+        bool alive = true;
+    };
+
     sim::Simulator &sim_;
-    power::CpuModel &cpu_;
     Uid uid_;
     std::string name_;
-    /** Shared liveness flag so queued closures see kill(). */
-    std::shared_ptr<bool> alive_;
+    /** Shared so queued closures see kill() after destruction. */
+    std::shared_ptr<State> state_;
 };
 
 } // namespace leaseos::app

@@ -48,7 +48,13 @@ installGlanceScript(Device &device, sim::Time interval, sim::Time length)
 RunResult
 runScenario(const RunSpec &spec)
 {
-    Device device(spec.config);
+    return runScenario(spec, spec.config);
+}
+
+RunResult
+runScenario(const RunSpec &spec, const DeviceConfig &config)
+{
+    Device device(config);
 
     for (const auto &fn : spec.setup) fn(device);
 
@@ -68,7 +74,7 @@ runScenario(const RunSpec &spec)
 
     RunResult result;
     result.name = spec.name;
-    result.seed = spec.config.seed;
+    result.seed = config.seed;
     if (!uids.empty()) result.appPowerMw = device.appPowerMw(uids.front());
     for (Uid uid : uids)
         result.perAppPowerMw.push_back(device.appPowerMw(uid));
@@ -203,10 +209,18 @@ ParallelRunner::run(const std::vector<RunSpec> &specs,
             std::size_t i = next.fetch_add(1);
             if (i >= specs.size()) return;
             try {
-                RunSpec spec = specs[i];
-                if (options_.baseSeed)
-                    spec.config.seed = deriveSeed(*options_.baseSeed, i);
-                RunResult r = runScenario(spec);
+                // Specs are shared read-only across workers: reseeding
+                // clones only the DeviceConfig, never the spec's app/
+                // setup/probe closures.
+                const RunSpec &spec = specs[i];
+                RunResult r;
+                if (options_.baseSeed) {
+                    DeviceConfig config = spec.config;
+                    config.seed = deriveSeed(*options_.baseSeed, i);
+                    r = runScenario(spec, config);
+                } else {
+                    r = runScenario(spec);
+                }
                 r.specIndex = i;
                 if (onResult) {
                     std::lock_guard<std::mutex> lock(reportMutex);

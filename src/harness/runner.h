@@ -182,6 +182,13 @@ struct RunResult {
 RunResult runScenario(const RunSpec &spec);
 
 /**
+ * As above, but with @p config in place of spec.config — lets callers
+ * (e.g. ParallelRunner's reseeding) vary device parameters without
+ * copying the whole spec. RunResult::seed reports config.seed.
+ */
+RunResult runScenario(const RunSpec &spec, const DeviceConfig &config);
+
+/**
  * Install the lightly-attended-device script: screen on briefly + motion
  * blip every @p interval (what RunSpec::userGlances uses internally).
  * The script stops when the returned handle is cancelled or destroyed;

@@ -28,7 +28,12 @@ class Battery
     double capacityMj() const { return capacityMj_; }
 
     /** Energy drained so far (mJ). */
-    double drainedMj() { return accountant_.totalEnergyMj() - baseMj_; }
+    double
+    drainedMj()
+    {
+        accountant_.sync();
+        return accountant_.totalEnergyMj() - baseMj_;
+    }
 
     /** Remaining charge fraction in [0, 1]. */
     double
@@ -54,7 +59,12 @@ class Battery
     }
 
     /** Treat the current accountant total as "fully charged". */
-    void recharge() { baseMj_ = accountant_.totalEnergyMj(); }
+    void
+    recharge()
+    {
+        accountant_.sync();
+        baseMj_ = accountant_.totalEnergyMj();
+    }
 
   private:
     EnergyAccountant &accountant_;

@@ -88,6 +88,7 @@ class BluetoothModel : public PowerComponent
     ChannelId channel_;
     std::vector<Uid> owners_;
     sim::Time lastAdvance_;
+    // leaselint: allow(flat-map-hotpath) -- per-run stat, read at teardown
     std::map<Uid, double> scanSeconds_;
 };
 

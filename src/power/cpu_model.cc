@@ -1,10 +1,22 @@
 #include "power/cpu_model.h"
 
 #include <algorithm>
-#include <set>
 #include <utility>
 
 namespace leaseos::power {
+
+namespace {
+
+/** Find-or-append accumulator slot for @p uid (tables hold a few uids). */
+double &
+accum(common::InlineVec<std::pair<Uid, double>, 8> &table, Uid uid)
+{
+    for (auto &entry : table)
+        if (entry.first == uid) return entry.second;
+    return table.emplace_back(uid, 0.0).second;
+}
+
+} // namespace
 
 CpuModel::CpuModel(sim::Simulator &sim, EnergyAccountant &accountant,
                    const DeviceProfile &profile)
@@ -30,8 +42,8 @@ CpuModel::advance()
         awakeSeconds_ += dt;
         double freq = currentFreq();
         for (const auto &[token, task] : tasks_) {
-            cpuSeconds_[task.uid] += task.load * dt;
-            normalizedCpuSeconds_[task.uid] += task.load * dt * freq;
+            accum(cpuSeconds_, task.uid) += task.load * dt;
+            accum(normalizedCpuSeconds_, task.uid) += task.load * dt * freq;
         }
         if (dvfsEnabled_) {
             if (levelSeconds_.size() < profile_.dvfsLevels.size())
@@ -69,7 +81,8 @@ CpuModel::updatePower()
     if (!awake_) {
         accountant_.setPower(idleChannel_, profile_.cpuSleepMw,
                              {kSystemUid});
-        accountant_.setPowerShares(busyChannel_, {});
+        accountant_.setPowerShares(
+            busyChannel_, std::span<const std::pair<Uid, double>>{});
         return;
     }
 
@@ -77,31 +90,37 @@ CpuModel::updatePower()
     // Screen-on and wake windows are user/system initiated; wakelocks are
     // app-initiated. The wakelock attribution is the Table 5 "wasted
     // power" signal, so wakelock holders take the idle cost when the
-    // screen is off.
-    std::vector<Uid> owners;
+    // screen is off. Sort + unique reproduces the old std::set ordering.
     if (!screenOn_ &&
         (!wakelockOwners_.empty() || !audioOwners_.empty())) {
-        std::set<Uid> holders(wakelockOwners_.begin(),
-                              wakelockOwners_.end());
-        holders.insert(audioOwners_.begin(), audioOwners_.end());
-        owners.assign(holders.begin(), holders.end());
+        common::InlineVec<Uid, 8> owners;
+        for (Uid u : wakelockOwners_) owners.push_back(u);
+        for (Uid u : audioOwners_) owners.push_back(u);
+        std::sort(owners.begin(), owners.end());
+        Uid *last = std::unique(owners.begin(), owners.end());
+        while (owners.end() != last) owners.pop_back();
+        accountant_.setPower(idleChannel_, profile_.cpuIdleAwakeMw,
+                             owners.span());
     } else {
-        owners = {kSystemUid};
+        accountant_.setPower(idleChannel_, profile_.cpuIdleAwakeMw,
+                             {kSystemUid});
     }
-    accountant_.setPower(idleChannel_, profile_.cpuIdleAwakeMw, owners);
 
     // Busy power: per-task shares, total load capped at core count,
-    // scaled by the DVFS operating point's power factor.
+    // scaled by the DVFS operating point's power factor. Per-uid merging
+    // accumulates in task (token) order and the final share list is
+    // sorted by uid — both exactly as the old std::map produced, so the
+    // accountant sees bit-identical shares in the same order.
     double total_load = currentLoad();
     double cap = static_cast<double>(profile_.cores);
     double scale = total_load > cap ? cap / total_load : 1.0;
     double per_core = profile_.cpuActivePerCoreMw * currentPowerFactor();
-    std::vector<std::pair<Uid, double>> shares;
-    std::map<Uid, double> merged;
+    common::InlineVec<std::pair<Uid, double>, 8> shares;
     for (const auto &[token, task] : tasks_)
-        merged[task.uid] += task.load * scale * per_core;
-    shares.assign(merged.begin(), merged.end());
-    accountant_.setPowerShares(busyChannel_, std::move(shares));
+        accum(shares, task.uid) += task.load * scale * per_core;
+    std::sort(shares.begin(), shares.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    accountant_.setPowerShares(busyChannel_, shares.span());
 }
 
 void
@@ -151,7 +170,7 @@ CpuModel::beginWork(Uid uid, double load)
 {
     advance();
     WorkToken token = nextToken_++;
-    tasks_[token] = Task{uid, std::max(0.0, load)};
+    tasks_.emplace_back(token, Task{uid, std::max(0.0, load)});
     updateGovernor();
     updatePower();
     return token;
@@ -161,7 +180,12 @@ void
 CpuModel::endWork(WorkToken token)
 {
     advance();
-    tasks_.erase(token);
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        if (tasks_[i].first == token) {
+            tasks_.erase(i);
+            break;
+        }
+    }
     updateGovernor();
     updatePower();
 }
@@ -182,7 +206,7 @@ CpuModel::currentLoad() const
 }
 
 void
-CpuModel::notifyOnWake(std::function<void()> fn)
+CpuModel::notifyOnWake(sim::InlineCallback fn)
 {
     if (awake_) {
         sim_.schedule(sim::Time::zero(), std::move(fn));
@@ -251,16 +275,18 @@ double
 CpuModel::normalizedCpuSeconds(Uid uid)
 {
     advance();
-    auto it = normalizedCpuSeconds_.find(uid);
-    return it == normalizedCpuSeconds_.end() ? 0.0 : it->second;
+    for (const auto &[u, s] : normalizedCpuSeconds_)
+        if (u == uid) return s;
+    return 0.0;
 }
 
 double
 CpuModel::cpuSeconds(Uid uid)
 {
     advance();
-    auto it = cpuSeconds_.find(uid);
-    return it == cpuSeconds_.end() ? 0.0 : it->second;
+    for (const auto &[u, s] : cpuSeconds_)
+        if (u == uid) return s;
+    return 0.0;
 }
 
 double

@@ -25,10 +25,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <utility>
 #include <vector>
 
+#include "common/inline_vec.h"
 #include "power/component.h"
+#include "sim/inline_callback.h"
 #include "sim/time.h"
 
 namespace leaseos::power {
@@ -113,7 +115,7 @@ class CpuModel : public PowerComponent
      * awake the callback fires via a zero-delay event (not inline, to keep
      * caller stacks simple).
      */
-    void notifyOnWake(std::function<void()> fn);
+    void notifyOnWake(sim::InlineCallback fn);
 
     /** Persistent listener invoked on every awake/asleep transition. */
     void addStateListener(std::function<void(bool awake)> fn);
@@ -153,10 +155,17 @@ class CpuModel : public PowerComponent
     int wakeWindows_ = 0;
     bool awake_ = false;
 
-    std::map<WorkToken, Task> tasks_;
+    /**
+     * Running tasks in token (= insertion) order. Tokens only grow and
+     * erase is order-preserving, so iteration order — and with it the
+     * floating-point accumulation order in advance() — matches the old
+     * std::map-by-token layout while staying allocation-free for the
+     * common handful of concurrent tasks.
+     */
+    common::InlineVec<std::pair<WorkToken, Task>, 8> tasks_;
     WorkToken nextToken_ = 1;
 
-    std::vector<std::function<void()>> wakeWaiters_;
+    std::vector<sim::InlineCallback> wakeWaiters_;
     std::vector<std::function<void(bool)>> stateListeners_;
 
     /** Re-evaluate the governor's operating point from current load. */
@@ -173,8 +182,9 @@ class CpuModel : public PowerComponent
     std::vector<double> levelSeconds_;
 
     sim::Time lastAdvance_;
-    std::map<Uid, double> cpuSeconds_;
-    std::map<Uid, double> normalizedCpuSeconds_;
+    /** Per-uid accumulators, first-seen order, looked up by linear scan. */
+    common::InlineVec<std::pair<Uid, double>, 8> cpuSeconds_;
+    common::InlineVec<std::pair<Uid, double>, 8> normalizedCpuSeconds_;
     double awakeSeconds_ = 0.0;
     double asleepSeconds_ = 0.0;
 };

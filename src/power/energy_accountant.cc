@@ -1,5 +1,6 @@
 #include "power/energy_accountant.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace leaseos::power {
@@ -10,44 +11,70 @@ EnergyAccountant::makeChannel(std::string name)
     // Creating a channel does not change power, but sync first so channel
     // indices never see time before their creation.
     sync();
-    channels_.push_back(Channel{std::move(name), {}, 0.0, {}});
+    channels_.emplace_back();
+    channels_.back().name = std::move(name);
     return static_cast<ChannelId>(channels_.size() - 1);
+}
+
+std::uint32_t
+EnergyAccountant::uidSlot(Uid uid)
+{
+    // Linear scan: a device hosts a handful of uids, and this only runs
+    // when power settings change, never in integrate().
+    for (std::uint32_t i = 0; i < uids_.size(); ++i)
+        if (uids_[i] == uid) return i;
+    uids_.push_back(uid);
+    uidMj_.push_back(0.0);
+    return static_cast<std::uint32_t>(uids_.size() - 1);
 }
 
 void
 EnergyAccountant::setPowerShares(ChannelId ch,
-                                 std::vector<std::pair<Uid, double>> sharesMw)
+                                 std::span<const std::pair<Uid, double>>
+                                     sharesMw)
 {
     assert(ch < channels_.size());
     sync();
-    channels_[ch].sharesMw = std::move(sharesMw);
+    Channel &c = channels_[ch];
+    c.shares.clear();
+    for (const auto &[uid, mw] : sharesMw)
+        c.shares.push_back(Share{uid, uidSlot(uid), mw});
+    if (c.uidMj.size() < uids_.size()) c.uidMj.resize(uids_.size(), 0.0);
 }
 
 void
 EnergyAccountant::setPower(ChannelId ch, double totalMw,
-                           const std::vector<Uid> &owners)
+                           std::span<const Uid> owners)
 {
-    std::vector<std::pair<Uid, double>> shares;
+    assert(ch < channels_.size());
+    sync();
+    Channel &c = channels_[ch];
+    c.shares.clear();
     if (totalMw > 0.0) {
         if (owners.empty()) {
-            shares.emplace_back(kSystemUid, totalMw);
+            c.shares.push_back(
+                Share{kSystemUid, uidSlot(kSystemUid), totalMw});
         } else {
             double each = totalMw / static_cast<double>(owners.size());
-            for (Uid u : owners) shares.emplace_back(u, each);
+            for (Uid u : owners)
+                c.shares.push_back(Share{u, uidSlot(u), each});
         }
     }
-    setPowerShares(ch, std::move(shares));
+    if (c.uidMj.size() < uids_.size()) c.uidMj.resize(uids_.size(), 0.0);
 }
 
 void
 EnergyAccountant::integrate(Channel &ch, double dtSeconds)
 {
-    for (const auto &[uid, mw] : ch.sharesMw) {
-        double mj = mw * dtSeconds;
+    // Share order (and therefore floating-point accumulation order) is
+    // exactly the order the caller supplied — part of the determinism
+    // contract, so results stay byte-identical across refactors.
+    for (const Share &s : ch.shares) {
+        double mj = s.mw * dtSeconds;
         ch.energyMj += mj;
-        ch.uidEnergyMj[uid] += mj;
+        ch.uidMj[s.slot] += mj;
         totalMj_ += mj;
-        uidMj_[uid] += mj;
+        uidMj_[s.slot] += mj;
     }
 }
 
@@ -65,35 +92,31 @@ EnergyAccountant::sync()
 }
 
 double
-EnergyAccountant::totalEnergyMj()
+EnergyAccountant::uidEnergyMj(Uid uid) const
 {
-    sync();
-    return totalMj_;
+    for (std::size_t i = 0; i < uids_.size(); ++i)
+        if (uids_[i] == uid) return uidMj_[i];
+    return 0.0;
 }
 
 double
-EnergyAccountant::uidEnergyMj(Uid uid)
-{
-    sync();
-    auto it = uidMj_.find(uid);
-    return it == uidMj_.end() ? 0.0 : it->second;
-}
-
-double
-EnergyAccountant::channelEnergyMj(ChannelId ch)
+EnergyAccountant::channelEnergyMj(ChannelId ch) const
 {
     assert(ch < channels_.size());
-    sync();
     return channels_[ch].energyMj;
 }
 
 double
-EnergyAccountant::uidChannelEnergyMj(Uid uid, ChannelId ch)
+EnergyAccountant::uidChannelEnergyMj(Uid uid, ChannelId ch) const
 {
     assert(ch < channels_.size());
-    sync();
-    auto it = channels_[ch].uidEnergyMj.find(uid);
-    return it == channels_[ch].uidEnergyMj.end() ? 0.0 : it->second;
+    const Channel &c = channels_[ch];
+    for (std::size_t i = 0; i < uids_.size(); ++i)
+        if (uids_[i] == uid)
+            // The channel's table may lag the global uid table if this
+            // uid never drew power here.
+            return i < c.uidMj.size() ? c.uidMj[i] : 0.0;
+    return 0.0;
 }
 
 double
@@ -101,7 +124,7 @@ EnergyAccountant::totalPowerMw() const
 {
     double mw = 0.0;
     for (const auto &ch : channels_)
-        for (const auto &[uid, w] : ch.sharesMw) mw += w;
+        for (const Share &s : ch.shares) mw += s.mw;
     return mw;
 }
 
@@ -110,8 +133,8 @@ EnergyAccountant::uidPowerMw(Uid uid) const
 {
     double mw = 0.0;
     for (const auto &ch : channels_)
-        for (const auto &[u, w] : ch.sharesMw)
-            if (u == uid) mw += w;
+        for (const Share &s : ch.shares)
+            if (s.uid == uid) mw += s.mw;
     return mw;
 }
 
@@ -133,8 +156,8 @@ EnergyAccountant::channelByName(const std::string &name) const
 std::vector<Uid>
 EnergyAccountant::knownUids() const
 {
-    std::vector<Uid> uids;
-    for (const auto &[uid, mj] : uidMj_) uids.push_back(uid);
+    std::vector<Uid> uids(uids_);
+    std::sort(uids.begin(), uids.end());
     return uids;
 }
 

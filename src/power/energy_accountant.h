@@ -15,15 +15,27 @@
  * Attribution follows the way Trepn/Android batterystats assign blame: a
  * channel's draw is divided across the uids responsible for it (wakelock
  * holders, GPS requestors, the app whose code is on-CPU, ...).
+ *
+ * Storage is flat and dense (DESIGN.md §8): channels are indexed directly
+ * by ChannelId, a channel's shares live in a small inline array that only
+ * spills past 4 uids, and per-uid integrals sit in dense tables indexed by
+ * a uid *slot* interned on first sight. Every share caches its uid's slot,
+ * so the per-event integrate loop is pure array arithmetic — no maps, no
+ * hashing, no allocation.
+ *
+ * Readers return *synced* state: call sync() first when you need values
+ * up to the current instant (energy accrues continuously between events).
  */
 
 #include <cstdint>
-#include <map>
+#include <initializer_list>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/inline_vec.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -48,32 +60,57 @@ class EnergyAccountant
 
     /**
      * Set a channel's draw as explicit per-uid shares.
-     * Integrates the previous setting up to now first.
+     * Integrates the previous setting up to now first. The span contents
+     * are copied into the channel's inline share array — callers can pass
+     * a view of their own persistent storage and never materialize a
+     * temporary vector.
      */
     void setPowerShares(ChannelId ch,
-                        std::vector<std::pair<Uid, double>> sharesMw);
+                        std::span<const std::pair<Uid, double>> sharesMw);
+
+    /** Vector convenience overload (tests, cold callers). */
+    void
+    setPowerShares(ChannelId ch,
+                   const std::vector<std::pair<Uid, double>> &sharesMw)
+    {
+        setPowerShares(ch, std::span<const std::pair<Uid, double>>(
+                               sharesMw.data(), sharesMw.size()));
+    }
 
     /**
      * Set a channel's total draw split equally across @p owners
-     * (attributed to the system uid when @p owners is empty).
+     * (attributed to the system uid when @p owners is empty). Duplicate
+     * owners receive one equal share each, preserving the caller's order.
      */
-    void setPower(ChannelId ch, double totalMw,
-                  const std::vector<Uid> &owners);
+    void setPower(ChannelId ch, double totalMw, std::span<const Uid> owners);
+
+    /** Braced-list convenience: `setPower(ch, mw, {kSystemUid})`. */
+    void
+    setPower(ChannelId ch, double totalMw, std::initializer_list<Uid> owners)
+    {
+        setPower(ch, totalMw,
+                 std::span<const Uid>(owners.begin(), owners.size()));
+    }
 
     /** Bring all integrals up to the current simulation time. */
     void sync();
 
+    // ---- Readers over synced state --------------------------------------
+    // Energy accrues continuously; these return integrals as of the last
+    // sync(). Call sync() first (it is idempotent and O(channels)) when a
+    // value up to the current instant is needed.
+
     /** Total energy drawn since construction, in millijoules. */
-    double totalEnergyMj();
+    double totalEnergyMj() const { return totalMj_; }
 
     /** Energy attributed to one uid, in millijoules. */
-    double uidEnergyMj(Uid uid);
+    double uidEnergyMj(Uid uid) const;
 
     /** Energy drawn through one channel, in millijoules. */
-    double channelEnergyMj(ChannelId ch);
+    double channelEnergyMj(ChannelId ch) const;
 
     /** Energy for one uid on one channel, in millijoules. */
-    double uidChannelEnergyMj(Uid uid, ChannelId ch);
+    double uidChannelEnergyMj(Uid uid, ChannelId ch) const;
 
     /** Instantaneous total draw in mW. */
     double totalPowerMw() const;
@@ -90,16 +127,27 @@ class EnergyAccountant
      */
     ChannelId channelByName(const std::string &name) const;
 
-    /** All uids that ever drew power (for report iteration). */
+    /** All uids that ever drew power (sorted, for report iteration). */
     std::vector<Uid> knownUids() const;
 
   private:
+    /** One attribution entry; the uid's dense slot is cached at set time. */
+    struct Share {
+        Uid uid;
+        std::uint32_t slot;
+        double mw;
+    };
+
     struct Channel {
         std::string name;
-        std::vector<std::pair<Uid, double>> sharesMw;
+        common::InlineVec<Share, 4> shares;
         double energyMj = 0.0;
-        std::map<Uid, double> uidEnergyMj;
+        /** Per-uid integral, indexed by uid slot (grown at share-set). */
+        std::vector<double> uidMj;
     };
+
+    /** Dense slot for @p uid, interning it on first sight. */
+    std::uint32_t uidSlot(Uid uid);
 
     /** Integrate one channel from lastSync_ to now. */
     void integrate(Channel &ch, double dtSeconds);
@@ -108,7 +156,8 @@ class EnergyAccountant
     std::vector<Channel> channels_;
     sim::Time lastSync_;
     double totalMj_ = 0.0;
-    std::map<Uid, double> uidMj_;
+    std::vector<Uid> uids_;    ///< slot -> uid, first-seen order
+    std::vector<double> uidMj_; ///< per-uid integral, indexed by slot
 };
 
 } // namespace leaseos::power

@@ -68,7 +68,9 @@ class GpsModel : public PowerComponent
     std::vector<std::function<void(bool)>> fixListeners_;
 
     sim::Time lastAdvance_;
+    // leaselint: allow(flat-map-hotpath) -- per-run stats, read at teardown
     std::map<Uid, double> searchSeconds_;
+    // leaselint: allow(flat-map-hotpath) -- per-run stats, read at teardown
     std::map<Uid, double> trackSeconds_;
 };
 

@@ -23,6 +23,7 @@ PowerProfiler::start()
 {
     if (running_) return;
     running_ = true;
+    accountant_.sync();
     lastTotalMj_ = accountant_.totalEnergyMj();
     for (auto &[uid, series] : perUid_)
         lastUidMj_[uid] = accountant_.uidEnergyMj(uid);
@@ -33,6 +34,8 @@ void
 PowerProfiler::sample()
 {
     double dt = period_.seconds();
+    // One sync covers the whole sample: every read below is as-of-now.
+    accountant_.sync();
     double total = accountant_.totalEnergyMj();
     total_.record(sim_.now(), (total - lastTotalMj_) / dt);
     lastTotalMj_ = total;

@@ -70,8 +70,10 @@ class PowerProfiler
     sim::PeriodicHandle tick_;
 
     sim::TimeSeries total_;
+    // leaselint: allow(flat-map-hotpath) -- touched once per sample tick
     std::map<Uid, sim::TimeSeries> perUid_;
     double lastTotalMj_ = 0.0;
+    // leaselint: allow(flat-map-hotpath) -- touched once per sample tick
     std::map<Uid, double> lastUidMj_;
 };
 

@@ -67,8 +67,11 @@ class RadioModel : public PowerComponent
     std::vector<Uid> cellActiveUids_;
 
     sim::Time lastAdvance_;
+    // leaselint: allow(flat-map-hotpath) -- per-run stats, read at teardown
     std::map<Uid, double> wifiLockSeconds_;
+    // leaselint: allow(flat-map-hotpath) -- per-run stats, read at teardown
     std::map<Uid, int> wifiActiveCount_;
+    // leaselint: allow(flat-map-hotpath) -- per-run stats, read at teardown
     std::map<Uid, double> wifiActiveSeconds_;
 };
 

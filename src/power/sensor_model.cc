@@ -1,6 +1,20 @@
 #include "power/sensor_model.h"
 
+#include <algorithm>
+
 namespace leaseos::power {
+
+namespace {
+
+double &
+accum(common::InlineVec<std::pair<Uid, double>, 8> &table, Uid uid)
+{
+    for (auto &entry : table)
+        if (entry.first == uid) return entry.second;
+    return table.emplace_back(uid, 0.0).second;
+}
+
+} // namespace
 
 const char *
 sensorTypeName(SensorType t)
@@ -37,48 +51,61 @@ SensorModel::sensorMw(SensorType type) const
 void
 SensorModel::updatePower()
 {
-    std::map<Uid, double> merged;
-    for (const auto &[type, users] : uses_) {
+    // Visit types in enum order and uids in sorted order — the exact
+    // sequence the old nested std::map produced, so per-uid sums
+    // accumulate in the same floating-point order.
+    common::InlineVec<std::pair<Uid, double>, 8> merged;
+    for (std::size_t t = 0; t < uses_.size(); ++t) {
+        const UserList &users = uses_[t];
         if (users.empty()) continue;
-        double each = sensorMw(type) / static_cast<double>(users.size());
-        for (const auto &[uid, count] : users) merged[uid] += each;
+        double each = sensorMw(static_cast<SensorType>(t)) /
+            static_cast<double>(users.size());
+        for (const auto &[uid, count] : users) accum(merged, uid) += each;
     }
-    std::vector<std::pair<Uid, double>> shares(merged.begin(), merged.end());
-    accountant_.setPowerShares(channel_, std::move(shares));
+    std::sort(merged.begin(), merged.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    accountant_.setPowerShares(channel_, merged.span());
 }
 
 void
 SensorModel::registerUse(SensorType type, Uid uid)
 {
-    ++uses_[type][uid];
+    UserList &users = usersFor(type);
+    std::size_t i = 0;
+    while (i < users.size() && users[i].first < uid) ++i;
+    if (i < users.size() && users[i].first == uid) {
+        ++users[i].second;
+    } else {
+        users.emplace_back(uid, 1);
+        for (std::size_t j = users.size() - 1; j > i; --j)
+            std::swap(users[j], users[j - 1]);
+    }
     updatePower();
 }
 
 void
 SensorModel::unregisterUse(SensorType type, Uid uid)
 {
-    auto tit = uses_.find(type);
-    if (tit == uses_.end()) return;
-    auto uit = tit->second.find(uid);
-    if (uit == tit->second.end()) return;
-    if (--uit->second <= 0) tit->second.erase(uit);
-    updatePower();
+    UserList &users = usersFor(type);
+    for (std::size_t i = 0; i < users.size(); ++i) {
+        if (users[i].first != uid) continue;
+        if (--users[i].second <= 0) users.erase(i);
+        updatePower();
+        return;
+    }
 }
 
 bool
 SensorModel::active(SensorType type) const
 {
-    auto it = uses_.find(type);
-    return it != uses_.end() && !it->second.empty();
+    return !usersFor(type).empty();
 }
 
 std::vector<Uid>
 SensorModel::users(SensorType type) const
 {
     std::vector<Uid> uids;
-    auto it = uses_.find(type);
-    if (it != uses_.end())
-        for (const auto &[uid, count] : it->second) uids.push_back(uid);
+    for (const auto &[uid, count] : usersFor(type)) uids.push_back(uid);
     return uids;
 }
 

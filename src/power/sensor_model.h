@@ -10,10 +10,11 @@
  * split across its registered uids.
  */
 
-#include <map>
-#include <set>
+#include <array>
+#include <utility>
 #include <vector>
 
+#include "common/inline_vec.h"
 #include "power/component.h"
 
 namespace leaseos::power {
@@ -45,10 +46,27 @@ class SensorModel : public PowerComponent
     double sensorMw(SensorType type) const;
 
   private:
+    /** Registered (uid, count) pairs kept sorted by uid. */
+    using UserList = common::InlineVec<std::pair<Uid, int>, 4>;
+
     void updatePower();
 
+    UserList &
+    usersFor(SensorType t)
+    {
+        return uses_[static_cast<std::size_t>(t)];
+    }
+    const UserList &
+    usersFor(SensorType t) const
+    {
+        return uses_[static_cast<std::size_t>(t)];
+    }
+
     ChannelId channel_;
-    std::map<SensorType, std::map<Uid, int>> uses_;
+    /** Indexed by SensorType; uid-sorted lists keep attribution (and its
+        floating-point accumulation order) identical to the old nested
+        std::map while making re-registration allocation-free. */
+    std::array<UserList, 4> uses_;
 };
 
 } // namespace leaseos::power

@@ -18,12 +18,11 @@ EventQueue::schedule(Time when, Callback cb)
         slots_.emplace_back();
     }
     Slot &slot = slots_[index];
-    slot.when = when;
-    slot.seq = nextSeq_++;
+    std::uint64_t seq = nextSeq_++;
     slot.live = true;
     slot.cb = std::move(cb);
 
-    heap_.push_back(index);
+    heap_.push_back(HeapEntry{when, seq, index});
     siftUp(heap_.size() - 1);
     ++liveCount_;
     return makeId(index, slot.gen);
@@ -53,11 +52,11 @@ void
 EventQueue::compact()
 {
     std::size_t kept = 0;
-    for (std::uint32_t index : heap_) {
-        if (slots_[index].live)
-            heap_[kept++] = index;
+    for (const HeapEntry &entry : heap_) {
+        if (slots_[entry.slot].live)
+            heap_[kept++] = entry;
         else
-            recycleSlot(index);
+            recycleSlot(entry.slot);
     }
     heap_.resize(kept);
     for (std::size_t i = kept / 2; i-- > 0;) siftDown(i);
@@ -78,7 +77,7 @@ EventQueue::recycleSlot(std::uint32_t index)
 void
 EventQueue::siftUp(std::size_t pos)
 {
-    std::uint32_t moving = heap_[pos];
+    HeapEntry moving = heap_[pos];
     while (pos > 0) {
         std::size_t parent = (pos - 1) / 2;
         if (!earlier(moving, heap_[parent])) break;
@@ -91,7 +90,7 @@ EventQueue::siftUp(std::size_t pos)
 void
 EventQueue::siftDown(std::size_t pos)
 {
-    std::uint32_t moving = heap_[pos];
+    HeapEntry moving = heap_[pos];
     const std::size_t n = heap_.size();
     for (;;) {
         std::size_t child = 2 * pos + 1;
@@ -116,8 +115,8 @@ EventQueue::popHeapTop()
 void
 EventQueue::skipDead()
 {
-    while (!heap_.empty() && !slots_[heap_[0]].live) {
-        recycleSlot(heap_[0]);
+    while (!heap_.empty() && !slots_[heap_[0].slot].live) {
+        recycleSlot(heap_[0].slot);
         popHeapTop();
     }
 }
@@ -127,7 +126,7 @@ EventQueue::nextTime()
 {
     skipDead();
     assert(!heap_.empty() && "nextTime() on empty queue");
-    return slots_[heap_[0]].when;
+    return heap_[0].when;
 }
 
 std::pair<Time, EventQueue::Callback>
@@ -135,9 +134,9 @@ EventQueue::pop()
 {
     skipDead();
     assert(!heap_.empty() && "pop() on empty queue");
-    std::uint32_t index = heap_[0];
-    Slot &slot = slots_[index];
-    auto result = std::make_pair(slot.when, std::move(slot.cb));
+    const HeapEntry &top = heap_[0];
+    std::uint32_t index = top.slot;
+    auto result = std::make_pair(top.when, std::move(slots_[index].cb));
     --liveCount_;
     recycleSlot(index);
     popHeapTop();

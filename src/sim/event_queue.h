@@ -11,22 +11,25 @@
  * cancelled event's heap entry stays behind as a tombstone and is
  * discarded when it reaches the top.
  *
- * Internals (the hot path of every simulation — see DESIGN.md §7):
- * events live in a pooled slot vector recycled through an intrusive free
- * list, so steady-state scheduling performs no allocation. The binary
- * heap orders bare slot indices, never whole entries, so sift-up/down
- * moves 4-byte integers and callbacks are moved exactly twice in their
- * life (in at schedule(), out at pop()) — never copied. EventIds carry a
- * per-slot generation stamp, making pending()/cancel() O(1) array
- * lookups with no hashing; a reused slot bumps its generation, so stale
- * ids from fired or cancelled events can never resurrect.
+ * Internals (the hot path of every simulation — see DESIGN.md §7–8):
+ * callbacks live in a pooled slot vector recycled through an intrusive
+ * free list, so steady-state scheduling performs no allocation — and the
+ * callback type is sim::InlineCallback, so capture storage doesn't
+ * allocate either. The binary heap entries carry their own (when, seq)
+ * sort key next to the slot index, so sift-up/down compares and moves
+ * 24-byte entries sequentially in the heap array and never dereferences
+ * a slot; callbacks are moved exactly twice in their life (in at
+ * schedule(), out at pop()). EventIds carry a per-slot generation stamp,
+ * making pending()/cancel() O(1) array lookups with no hashing; a reused
+ * slot bumps its generation, so stale ids from fired or cancelled events
+ * can never resurrect.
  */
 
 #include <cstdint>
-#include <functional>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_callback.h"
 #include "sim/time.h"
 
 namespace leaseos::sim {
@@ -45,7 +48,7 @@ constexpr EventId kInvalidEventId = 0;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -94,18 +97,36 @@ class EventQueue
     static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
     /**
-     * One pooled event. A slot is allocated from schedule() until its
+     * One pooled callback. A slot is allocated from schedule() until its
      * heap entry is removed (at pop() or when a tombstone surfaces), then
-     * recycled via the free list with its generation bumped.
+     * recycled via the free list with its generation bumped. The (when,
+     * seq) ordering key lives in the slot's HeapEntry, not here.
      */
     struct Slot {
-        Time when;
-        std::uint64_t seq = 0;
         std::uint32_t gen = 0;
         bool live = false;            ///< scheduled, not fired/cancelled
         std::uint32_t nextFree = kNoSlot;
         Callback cb;
     };
+
+    /**
+     * One heap element: the event's sort key plus its slot index. Keys
+     * ride in the heap so sift comparisons touch only the (contiguous)
+     * heap array — never the slot pool.
+     */
+    struct HeapEntry {
+        Time when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+    };
+
+    /** Strict (when, seq) ordering between two heap entries. */
+    static bool
+    earlier(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when) return a.when < b.when;
+        return a.seq < b.seq;
+    }
 
     static EventId
     makeId(std::uint32_t slot, std::uint32_t gen)
@@ -126,16 +147,6 @@ class EventQueue
         if (slot.gen != static_cast<std::uint32_t>(id >> 32))
             return nullptr;
         return &slot;
-    }
-
-    /** Strict (when, seq) ordering between two slots' events. */
-    bool
-    earlier(std::uint32_t a, std::uint32_t b) const
-    {
-        const Slot &sa = slots_[a];
-        const Slot &sb = slots_[b];
-        if (sa.when != sb.when) return sa.when < sb.when;
-        return sa.seq < sb.seq;
     }
 
     void siftUp(std::size_t pos);
@@ -159,8 +170,8 @@ class EventQueue
      */
     void compact();
 
-    std::vector<Slot> slots_;          ///< pooled event storage
-    std::vector<std::uint32_t> heap_;  ///< binary min-heap of slot indices
+    std::vector<Slot> slots_;          ///< pooled callback storage
+    std::vector<HeapEntry> heap_;      ///< binary min-heap of keyed entries
     std::uint32_t freeHead_ = kNoSlot; ///< intrusive free-list head
     std::size_t liveCount_ = 0;
     std::uint64_t nextSeq_ = 0;

@@ -1,0 +1,172 @@
+#ifndef LEASEOS_SIM_INLINE_CALLBACK_H
+#define LEASEOS_SIM_INLINE_CALLBACK_H
+
+/**
+ * @file
+ * Small-buffer-optimized move-only callable — the event queue's callback
+ * type (see DESIGN.md §8).
+ *
+ * `std::function<void()>` heap-allocates for any capture larger than two
+ * pointers, which put one allocation on nearly every simulated event.
+ * InlineCallback stores captures up to kInlineSize (48 bytes — enough for
+ * a shared_ptr plus a std::function, the largest hot-path capture in the
+ * tree) directly inside the object and dispatches through a plain
+ * function pointer: no virtual call, no heap touch, and a noexcept move
+ * that the EventQueue slot pool can shuffle freely. Oversized or
+ * potentially-throwing-move captures fall back to a single heap
+ * allocation, exactly like std::function — but no steady-state event in
+ * the simulator needs the fallback.
+ *
+ * Unlike std::function it is move-only, so move-only captures
+ * (std::unique_ptr, PeriodicHandle, another InlineCallback) work without
+ * shared_ptr wrapping.
+ */
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace leaseos::sim {
+
+/**
+ * Move-only `void()` callable with 48 bytes of inline capture storage.
+ */
+class InlineCallback
+{
+  public:
+    /** Inline capture capacity, in bytes. */
+    static constexpr std::size_t kInlineSize = 48;
+    static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+    /**
+     * True when callables of type F are stored inline (no allocation).
+     * Requires a noexcept move so the whole InlineCallback move (and the
+     * event-queue slot shuffling built on it) stays noexcept.
+     */
+    template <typename F>
+    static constexpr bool storedInline =
+        sizeof(F) <= kInlineSize && alignof(F) <= kInlineAlign &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    InlineCallback() = default;
+    InlineCallback(std::nullptr_t) {}
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    /** Wrap any void() callable (SFINAE'd away for InlineCallback itself). */
+    template <typename F,
+              std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                      std::is_invocable_r_v<void, std::decay_t<F> &>,
+                  int> = 0>
+    InlineCallback(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (storedInline<Fn>) {
+            ::new (static_cast<void *>(storage_.buf))
+                Fn(std::forward<F>(fn));
+            invoke_ = [](InlineCallback &self) {
+                (*std::launder(
+                    reinterpret_cast<Fn *>(self.storage_.buf)))();
+            };
+            manage_ = &manageInline<Fn>;
+        } else {
+            storage_.heap = new Fn(std::forward<F>(fn));
+            invoke_ = [](InlineCallback &self) {
+                (*static_cast<Fn *>(self.storage_.heap))();
+            };
+            manage_ = &manageHeap<Fn>;
+        }
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept { moveFrom(other); }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineCallback &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    ~InlineCallback() { reset(); }
+
+    explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+    void
+    operator()()
+    {
+        assert(invoke_ != nullptr && "invoking an empty InlineCallback");
+        invoke_(*this);
+    }
+
+  private:
+    enum class Op { MoveTo, Destroy };
+
+    /** Type-erased move/destroy; @p dst used by MoveTo only. */
+    using Manage = void (*)(Op, InlineCallback &self, InlineCallback *dst);
+
+    template <typename Fn>
+    static void
+    manageInline(Op op, InlineCallback &self, InlineCallback *dst)
+    {
+        Fn *fn = std::launder(reinterpret_cast<Fn *>(self.storage_.buf));
+        if (op == Op::MoveTo)
+            ::new (static_cast<void *>(dst->storage_.buf))
+                Fn(std::move(*fn));
+        fn->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    manageHeap(Op op, InlineCallback &self, InlineCallback *dst)
+    {
+        if (op == Op::MoveTo)
+            dst->storage_.heap = self.storage_.heap;
+        else
+            delete static_cast<Fn *>(self.storage_.heap);
+    }
+
+    /** Steal @p other's target; leaves @p other empty. */
+    void
+    moveFrom(InlineCallback &other) noexcept
+    {
+        invoke_ = other.invoke_;
+        manage_ = other.manage_;
+        if (manage_ != nullptr) manage_(Op::MoveTo, other, this);
+        other.invoke_ = nullptr;
+        other.manage_ = nullptr;
+    }
+
+    void
+    reset() noexcept
+    {
+        if (manage_ != nullptr) manage_(Op::Destroy, *this, nullptr);
+        invoke_ = nullptr;
+        manage_ = nullptr;
+    }
+
+    void (*invoke_)(InlineCallback &) = nullptr;
+    Manage manage_ = nullptr;
+    union Storage {
+        alignas(kInlineAlign) unsigned char buf[kInlineSize];
+        void *heap;
+    } storage_;
+};
+
+} // namespace leaseos::sim
+
+#endif // LEASEOS_SIM_INLINE_CALLBACK_H

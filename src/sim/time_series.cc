@@ -62,6 +62,7 @@ renderSeriesTable(const std::vector<const TimeSeries *> &series,
                   const std::string &timeUnit)
 {
     // Collect the union of timestamps, then fill a row per timestamp.
+    // leaselint: allow(flat-map-hotpath) -- report rendering, runs once
     std::map<std::int64_t, std::vector<std::string>> rows;
     for (std::size_t i = 0; i < series.size(); ++i) {
         for (const auto &p : series[i]->points()) {

@@ -256,6 +256,7 @@ TEST(InvariantOracle, EnergyAuditCleanAfterRealRun)
                        device.battery());
     EXPECT_TRUE(oracle.clean())
         << oracle.violations().front().toString();
+    device.accountant().sync();
     EXPECT_GT(device.accountant().totalEnergyMj(), 0.0);
 }
 

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <set>
 
 #include "apps/buggy/k9_mail.h"
@@ -179,6 +180,41 @@ TEST(ParallelRunnerTest, BaseSeedOverridesSpecSeeds)
     EXPECT_EQ(results[0].seed, deriveSeed(123, 0));
     EXPECT_EQ(results[1].seed, deriveSeed(123, 1));
     EXPECT_NE(results[0].seed, results[1].seed);
+}
+
+TEST(ParallelRunnerTest, HooksAreNotCopiedPerRun)
+{
+    // The worker loop runs each spec by const ref; the std::function
+    // hook vectors must not be cloned per run (they were, when the loop
+    // copied whole RunSpecs), even when baseSeed forces a config clone.
+    struct CopyTracker {
+        std::shared_ptr<int> copies;
+        CopyTracker() : copies(std::make_shared<int>(0)) {}
+        CopyTracker(const CopyTracker &other) : copies(other.copies)
+        {
+            ++*copies;
+        }
+        CopyTracker(CopyTracker &&) = default;
+        double operator()(Device &) const { return 0.0; }
+    };
+
+    CopyTracker tracker;
+    std::shared_ptr<int> copies = tracker.copies;
+    std::vector<RunSpec> specs;
+    specs.push_back(RunSpec{}
+                        .withConfig(DeviceConfig{})
+                        .withDuration(1_min)
+                        .withProbe("zero", std::move(tracker)));
+
+    RunnerOptions options;
+    options.jobs = 1;
+    options.baseSeed = 99; // forces the DeviceConfig clone path
+    ParallelRunner runner(options);
+    int copiesBeforeRun = *copies;
+    auto results = runner.run(specs);
+    EXPECT_EQ(*copies, copiesBeforeRun);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].probe("zero"), 0.0);
 }
 
 TEST(ParallelRunnerTest, ParseArgsReadsJobsFlag)

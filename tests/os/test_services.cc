@@ -104,6 +104,7 @@ TEST_F(WifiManagerTest, LockLifecycleAndPower)
     sim.runFor(100_s);
     wms.release(t);
     EXPECT_NEAR(wms.heldSeconds(kApp), 100.0, 0.1);
+    acc.sync();
     EXPECT_NEAR(acc.uidEnergyMj(kApp), profile.wifiLockMw * 100.0, 2.0);
 }
 
@@ -165,6 +166,7 @@ TEST_F(DisplayManagerTest, UserOnScreenIsNotForced)
     sim.runFor(10_s);
     EXPECT_DOUBLE_EQ(dms.forcedOnSeconds(), 0.0);
     // System pays for the user-on screen.
+    acc.sync();
     EXPECT_DOUBLE_EQ(acc.uidEnergyMj(kApp), 0.0);
 }
 

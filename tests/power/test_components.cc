@@ -31,6 +31,7 @@ TEST_F(ComponentFixture, ScreenOffDrawsNothing)
 {
     ScreenModel screen(sim, acc, profile);
     sim.runFor(10_s);
+    acc.sync();
     EXPECT_DOUBLE_EQ(acc.totalEnergyMj(), 0.0);
 }
 
@@ -40,6 +41,7 @@ TEST_F(ComponentFixture, ScreenOnDrawsBasePlusBrightness)
     screen.setBrightness(1.0);
     screen.setOn(true);
     sim.runFor(10_s);
+    acc.sync();
     EXPECT_DOUBLE_EQ(acc.totalEnergyMj(),
                      (profile.screenBaseMw + profile.screenFullMw) * 10.0);
 }
@@ -49,6 +51,7 @@ TEST_F(ComponentFixture, ScreenWakelockOwnerAttribution)
     ScreenModel screen(sim, acc, profile);
     screen.setOn(true, {kApp});
     sim.runFor(10_s);
+    acc.sync();
     EXPECT_GT(acc.uidEnergyMj(kApp), 0.0);
     EXPECT_DOUBLE_EQ(acc.uidEnergyMj(kSystemUid), 0.0);
 }
@@ -69,6 +72,7 @@ TEST_F(ComponentFixture, GpsOffWithNoRequests)
     GpsModel gps(sim, acc, profile);
     EXPECT_EQ(gps.state(), GpsModel::State::Off);
     sim.runFor(5_s);
+    acc.sync();
     EXPECT_DOUBLE_EQ(acc.totalEnergyMj(), 0.0);
 }
 
@@ -92,6 +96,7 @@ TEST_F(ComponentFixture, GpsStaysSearchingWithBadSignal)
     sim.runFor(60_s);
     EXPECT_EQ(gps.state(), GpsModel::State::Searching);
     EXPECT_NEAR(gps.searchSeconds(kApp), 60.0, 1e-6);
+    acc.sync();
     EXPECT_NEAR(acc.uidEnergyMj(kApp), profile.gpsSearchMw * 60.0, 1.0);
 }
 
@@ -114,6 +119,7 @@ TEST_F(ComponentFixture, GpsTurnsOffWhenRequestsEnd)
     EXPECT_EQ(gps.state(), GpsModel::State::Off);
     double e = acc.totalEnergyMj();
     sim.runFor(20_s);
+    acc.sync();
     EXPECT_DOUBLE_EQ(acc.totalEnergyMj(), e);
 }
 
@@ -132,6 +138,7 @@ TEST_F(ComponentFixture, WifiIdleByDefault)
 {
     RadioModel radio(sim, acc, profile);
     sim.runFor(10_s);
+    acc.sync();
     EXPECT_NEAR(acc.totalEnergyMj(),
                 (profile.wifiIdleMw + profile.cellIdleMw) * 10.0, 1e-6);
 }
@@ -141,6 +148,7 @@ TEST_F(ComponentFixture, WifiLockDrawAttributedToHolder)
     RadioModel radio(sim, acc, profile);
     radio.setWifiLockOwners({kApp});
     sim.runFor(100_s);
+    acc.sync();
     EXPECT_NEAR(acc.uidEnergyMj(kApp), profile.wifiLockMw * 100.0, 1e-6);
     EXPECT_NEAR(radio.wifiLockSeconds(kApp), 100.0, 1e-9);
 }
@@ -153,6 +161,7 @@ TEST_F(ComponentFixture, WifiTransferBurst)
     EXPECT_TRUE(radio.wifiBusy());
     sim.runFor(2_s);
     EXPECT_FALSE(radio.wifiBusy());
+    acc.sync();
     EXPECT_NEAR(acc.uidEnergyMj(kApp), profile.wifiActiveMw * 1.0, 1e-6);
 }
 
@@ -161,6 +170,7 @@ TEST_F(ComponentFixture, CellTransferBurst)
     RadioModel radio(sim, acc, profile);
     radio.transferCell(kApp, 625000); // 625 KB at 625 KB/s = 1 s
     sim.runFor(2_s);
+    acc.sync();
     EXPECT_NEAR(acc.uidEnergyMj(kApp), profile.cellActiveMw * 1.0, 1e-6);
 }
 
@@ -175,6 +185,7 @@ TEST_F(ComponentFixture, SensorDrawsWhileRegistered)
     sensors.unregisterUse(SensorType::Orientation, kApp);
     EXPECT_FALSE(sensors.active(SensorType::Orientation));
     sim.runFor(10_s);
+    acc.sync();
     EXPECT_NEAR(acc.uidEnergyMj(kApp), profile.orientationMw * 10.0, 1e-6);
 }
 
@@ -184,6 +195,7 @@ TEST_F(ComponentFixture, SensorSharedAcrossUids)
     sensors.registerUse(SensorType::Accelerometer, kApp);
     sensors.registerUse(SensorType::Accelerometer, kApp2);
     sim.runFor(10_s);
+    acc.sync();
     EXPECT_NEAR(acc.uidEnergyMj(kApp),
                 profile.accelerometerMw * 10.0 / 2.0, 1e-6);
     auto users = sensors.users(SensorType::Accelerometer);
@@ -218,6 +230,7 @@ TEST_F(ComponentFixture, AudioDrawWhilePlaying)
     sim.runFor(10_s);
     audio.setPlaying(kApp, false);
     sim.runFor(10_s);
+    acc.sync();
     EXPECT_NEAR(acc.uidEnergyMj(kApp), profile.audioMw * 10.0, 1e-6);
 }
 

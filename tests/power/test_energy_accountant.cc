@@ -24,6 +24,7 @@ TEST(EnergyAccountantTest, IntegratesConstantPower)
     ChannelId ch = acc.makeChannel("cpu");
     acc.setPower(ch, 100.0, {kAppA});
     sim.runFor(10_s);
+    acc.sync();
     EXPECT_DOUBLE_EQ(acc.totalEnergyMj(), 1000.0); // 100 mW * 10 s
     EXPECT_DOUBLE_EQ(acc.uidEnergyMj(kAppA), 1000.0);
 }
@@ -35,6 +36,7 @@ TEST(EnergyAccountantTest, SplitsAcrossOwners)
     ChannelId ch = acc.makeChannel("gps");
     acc.setPower(ch, 100.0, {kAppA, kAppB});
     sim.runFor(10_s);
+    acc.sync();
     EXPECT_DOUBLE_EQ(acc.uidEnergyMj(kAppA), 500.0);
     EXPECT_DOUBLE_EQ(acc.uidEnergyMj(kAppB), 500.0);
 }
@@ -46,6 +48,7 @@ TEST(EnergyAccountantTest, EmptyOwnersGoesToSystem)
     ChannelId ch = acc.makeChannel("misc");
     acc.setPower(ch, 50.0, {});
     sim.runFor(2_s);
+    acc.sync();
     EXPECT_DOUBLE_EQ(acc.uidEnergyMj(kSystemUid), 100.0);
 }
 
@@ -58,6 +61,7 @@ TEST(EnergyAccountantTest, PowerChangeSplitsInterval)
     sim.runFor(5_s);
     acc.setPower(ch, 10.0, {kAppA});
     sim.runFor(5_s);
+    acc.sync();
     EXPECT_DOUBLE_EQ(acc.totalEnergyMj(), 550.0);
 }
 
@@ -70,6 +74,7 @@ TEST(EnergyAccountantTest, AttributionChangeSplitsInterval)
     sim.runFor(4_s);
     acc.setPower(ch, 100.0, {kAppB});
     sim.runFor(6_s);
+    acc.sync();
     EXPECT_DOUBLE_EQ(acc.uidEnergyMj(kAppA), 400.0);
     EXPECT_DOUBLE_EQ(acc.uidEnergyMj(kAppB), 600.0);
 }
@@ -83,6 +88,7 @@ TEST(EnergyAccountantTest, MultipleChannelsSum)
     acc.setPower(cpu, 30.0, {kAppA});
     acc.setPower(gps, 70.0, {kAppA});
     sim.runFor(1_s);
+    acc.sync();
     EXPECT_DOUBLE_EQ(acc.totalEnergyMj(), 100.0);
     EXPECT_DOUBLE_EQ(acc.channelEnergyMj(cpu), 30.0);
     EXPECT_DOUBLE_EQ(acc.channelEnergyMj(gps), 70.0);
@@ -112,6 +118,27 @@ TEST(EnergyAccountantTest, KnownUidsListsContributors)
     auto uids = acc.knownUids();
     EXPECT_EQ(uids.size(), 1u);
     EXPECT_EQ(uids[0], kAppA);
+}
+
+TEST(EnergyAccountantTest, ExplicitSyncMatchesMidIntervalRead)
+{
+    sim::Simulator sim;
+    EnergyAccountant acc(sim);
+    ChannelId ch = acc.makeChannel("cpu");
+    acc.setPower(ch, 100.0, {kAppA});
+    // Advance mid-interval with no power-change boundary: readers lag at
+    // the last sync point until an explicit sync() brings them to now.
+    sim.runFor(3_s);
+    EXPECT_DOUBLE_EQ(acc.totalEnergyMj(), 0.0);
+    acc.sync();
+    // Post-sync the values match what the old implicit-sync readers gave.
+    EXPECT_DOUBLE_EQ(acc.totalEnergyMj(), 300.0);
+    EXPECT_DOUBLE_EQ(acc.uidEnergyMj(kAppA), 300.0);
+    EXPECT_DOUBLE_EQ(acc.channelEnergyMj(ch), 300.0);
+    EXPECT_DOUBLE_EQ(acc.uidChannelEnergyMj(kAppA, ch), 300.0);
+    // sync() is idempotent while time stands still.
+    acc.sync();
+    EXPECT_DOUBLE_EQ(acc.totalEnergyMj(), 300.0);
 }
 
 TEST(EnergyAccountantTest, ChannelNamesStored)

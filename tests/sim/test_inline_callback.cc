@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for sim::InlineCallback — the SBO callable the event queue
+ * stores in its slot pool (DESIGN.md §8).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "sim/event_queue.h"
+#include "sim/inline_callback.h"
+#include "sim/time.h"
+
+namespace leaseos::sim {
+namespace {
+
+struct Counters {
+    int constructed = 0;
+    int moved = 0;
+    int destroyed = 0;
+    int calls = 0;
+};
+
+/** Instrumented callable padded to @p Pad bytes beyond the pointer. */
+template <std::size_t Pad>
+struct Probe {
+    Counters *c;
+    unsigned char pad[Pad] = {};
+
+    explicit Probe(Counters *counters) : c(counters) { ++c->constructed; }
+    Probe(const Probe &other) : c(other.c) { ++c->constructed; }
+    Probe(Probe &&other) noexcept : c(other.c) { ++c->moved; }
+    ~Probe() { ++c->destroyed; }
+    void operator()() { ++c->calls; }
+};
+
+using SmallProbe = Probe<8>;
+using LargeProbe = Probe<InlineCallback::kInlineSize>;
+
+static_assert(InlineCallback::storedInline<SmallProbe>,
+              "small probe must fit the inline buffer");
+static_assert(!InlineCallback::storedInline<LargeProbe>,
+              "large probe must spill to the heap");
+
+TEST(InlineCallbackTest, EmptyByDefault)
+{
+    InlineCallback cb;
+    EXPECT_FALSE(cb);
+    InlineCallback fromNull(nullptr);
+    EXPECT_FALSE(fromNull);
+}
+
+TEST(InlineCallbackTest, InvokesInlineCallable)
+{
+    Counters c;
+    {
+        InlineCallback cb(SmallProbe{&c});
+        ASSERT_TRUE(cb);
+        cb();
+        cb();
+    }
+    EXPECT_EQ(c.calls, 2);
+    // Every construction (direct or move) is balanced by a destruction.
+    EXPECT_EQ(c.constructed + c.moved, c.destroyed);
+}
+
+TEST(InlineCallbackTest, InvokesHeapCallable)
+{
+    Counters c;
+    {
+        InlineCallback cb(LargeProbe{&c});
+        ASSERT_TRUE(cb);
+        cb();
+    }
+    EXPECT_EQ(c.calls, 1);
+    EXPECT_EQ(c.constructed + c.moved, c.destroyed);
+}
+
+TEST(InlineCallbackTest, MoveTransfersInlineCallable)
+{
+    Counters c;
+    InlineCallback a(SmallProbe{&c});
+    InlineCallback b(std::move(a));
+    EXPECT_FALSE(a); // NOLINT(bugprone-use-after-move): post-move empty
+    ASSERT_TRUE(b);
+    b();
+    EXPECT_EQ(c.calls, 1);
+
+    InlineCallback d;
+    d = std::move(b);
+    EXPECT_FALSE(b); // NOLINT(bugprone-use-after-move)
+    ASSERT_TRUE(d);
+    d();
+    EXPECT_EQ(c.calls, 2);
+}
+
+TEST(InlineCallbackTest, MoveTransfersHeapCallable)
+{
+    Counters c;
+    InlineCallback a(LargeProbe{&c});
+    int movesBefore = c.moved;
+    InlineCallback b(std::move(a));
+    // Heap-stored callables move by pointer swap, not element move.
+    EXPECT_EQ(c.moved, movesBefore);
+    EXPECT_FALSE(a); // NOLINT(bugprone-use-after-move)
+    ASSERT_TRUE(b);
+    b();
+    EXPECT_EQ(c.calls, 1);
+    b = nullptr;
+    EXPECT_EQ(c.constructed + c.moved, c.destroyed);
+}
+
+TEST(InlineCallbackTest, MoveOnlyCapture)
+{
+    auto value = std::make_unique<int>(41);
+    int seen = 0;
+    InlineCallback cb([v = std::move(value), &seen] { seen = *v + 1; });
+    cb();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineCallbackTest, NullAssignmentDestroysTarget)
+{
+    Counters c;
+    InlineCallback cb(SmallProbe{&c});
+    int destroyedBefore = c.destroyed;
+    cb = nullptr;
+    EXPECT_FALSE(cb);
+    EXPECT_GT(c.destroyed, destroyedBefore);
+    EXPECT_EQ(c.constructed + c.moved, c.destroyed);
+}
+
+TEST(InlineCallbackTest, OverwriteDestroysOldTarget)
+{
+    Counters cOld;
+    Counters cNew;
+    InlineCallback cb(SmallProbe{&cOld});
+    cb = InlineCallback(SmallProbe{&cNew});
+    EXPECT_EQ(cOld.constructed + cOld.moved, cOld.destroyed);
+    cb();
+    EXPECT_EQ(cNew.calls, 1);
+    EXPECT_EQ(cOld.calls, 0);
+}
+
+TEST(InlineCallbackTest, SelfMoveAssignIsSafe)
+{
+    Counters c;
+    InlineCallback cb(SmallProbe{&c});
+    InlineCallback &alias = cb;
+    cb = std::move(alias);
+    ASSERT_TRUE(cb);
+    cb();
+    EXPECT_EQ(c.calls, 1);
+}
+
+// ---- Interaction with the event queue -----------------------------------
+
+TEST(InlineCallbackQueueTest, ScheduleFromRunningCallback)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(Time::fromSeconds(1.0), [&] {
+        ++fired;
+        // Re-entrant schedule while this callback runs: the queue must
+        // tolerate slot-pool growth mid-invocation.
+        q.schedule(Time::fromSeconds(2.0), [&] { ++fired; });
+    });
+    while (!q.empty()) q.pop().second();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(InlineCallbackQueueTest, CallbackDestroyedAfterPop)
+{
+    Counters c;
+    EventQueue q;
+    q.schedule(Time::fromSeconds(1.0), SmallProbe{&c});
+    {
+        auto [when, cb] = q.pop();
+        EXPECT_EQ(when, Time::fromSeconds(1.0));
+        cb();
+    }
+    EXPECT_EQ(c.calls, 1);
+    EXPECT_EQ(c.constructed + c.moved, c.destroyed);
+}
+
+TEST(InlineCallbackQueueTest, CancelDestroysCallback)
+{
+    Counters c;
+    EventQueue q;
+    EventId id = q.schedule(Time::fromSeconds(1.0), SmallProbe{&c});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_EQ(c.constructed + c.moved, c.destroyed);
+    EXPECT_EQ(c.calls, 0);
+}
+
+} // namespace
+} // namespace leaseos::sim

@@ -279,6 +279,48 @@ TEST(SwitchExhaustiveRule, IgnoresSwitchesOverOtherEnums)
     EXPECT_TRUE(report.findings.empty());
 }
 
+// ---- flat-map-hotpath rule --------------------------------------------------
+
+TEST(FlatMapHotpathRule, FlagsNodeMapsInHotPathDirs)
+{
+    LintReport report = lintOne("src/power/bad.h",
+                                "std::map<Uid, double> table_;\n"
+                                "std::unordered_map<int, int> index_;\n",
+                                makeFlatMapHotpathRule());
+    ASSERT_EQ(report.findings.size(), 2u);
+    EXPECT_EQ(report.findings[0].rule, "flat-map-hotpath");
+    EXPECT_EQ(report.findings[0].line, 1u);
+    EXPECT_NE(report.findings[0].message.find("dense"),
+              std::string::npos);
+}
+
+TEST(FlatMapHotpathRule, IgnoresColdDirsIncludesAndUnqualifiedNames)
+{
+    // Maps outside src/sim and src/power are not hot-path concerns.
+    LintReport cold = lintOne("src/harness/ok.cc",
+                              "std::map<int, int> agg;\n",
+                              makeFlatMapHotpathRule());
+    EXPECT_TRUE(cold.findings.empty());
+
+    LintReport clean = lintOne("src/sim/ok.cc",
+                               "#include <map>\n"
+                               "// the old std::map layout\n"
+                               "int bitmap = roadmap(mapIndex);\n",
+                               makeFlatMapHotpathRule());
+    EXPECT_TRUE(clean.findings.empty());
+}
+
+TEST(FlatMapHotpathRule, SuppressionSilencesButCounts)
+{
+    LintReport report = lintOne(
+        "src/power/ok.h",
+        "// leaselint: allow(flat-map-hotpath) -- read at teardown\n"
+        "std::map<Uid, double> statSeconds_;\n",
+        makeFlatMapHotpathRule());
+    EXPECT_TRUE(report.findings.empty());
+    EXPECT_EQ(report.suppressed, 1u);
+}
+
 // ---- driver ----------------------------------------------------------------
 
 TEST(Driver, FindingsAreSortedAndFormatted)

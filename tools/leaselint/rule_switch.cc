@@ -228,6 +228,7 @@ makeAllRules()
     rules.push_back(makePairingRule());
     rules.push_back(makeProxyBypassRule());
     rules.push_back(makeSwitchExhaustiveRule());
+    rules.push_back(makeFlatMapHotpathRule());
     return rules;
 }
 

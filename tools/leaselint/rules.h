@@ -14,7 +14,10 @@
  *  - proxy-bypass:      service interposition mutators (suspend/restore/
  *                       filters) used outside proxies/mitigation/OS code;
  *  - switch-exhaustive: switches over the core lease enums that do not
- *                       enumerate every value (a default: hides new ones).
+ *                       enumerate every value (a default: hides new ones);
+ *  - flat-map-hotpath:  node-based std::map / std::unordered_map in the
+ *                       hot path (src/sim, src/power) — informational,
+ *                       points at dense arrays / InlineVec (DESIGN.md §8).
  */
 
 #include <memory>
@@ -27,6 +30,7 @@ std::unique_ptr<Rule> makeDeterminismRule();
 std::unique_ptr<Rule> makePairingRule();
 std::unique_ptr<Rule> makeProxyBypassRule();
 std::unique_ptr<Rule> makeSwitchExhaustiveRule();
+std::unique_ptr<Rule> makeFlatMapHotpathRule();
 
 } // namespace leaselint
 

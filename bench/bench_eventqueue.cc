@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "harness/result_sink.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/time.h"
@@ -254,11 +256,27 @@ main(int argc, char **argv)
     // --ops N scales every workload (default 1M ops; CI smoke uses less).
     std::uint64_t n = 500'000;
     int reps = 5;
+    std::string tracePath;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--ops=", 6) == 0)
             n = std::strtoull(argv[i] + 6, nullptr, 10);
         else if (std::strncmp(argv[i], "--reps=", 7) == 0)
             reps = static_cast<int>(std::strtol(argv[i] + 7, nullptr, 10));
+        else if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            tracePath = argv[i] + 8;
+    }
+
+    // Install the ring before any workload constructs a queue (queues
+    // cache TraceBuffer::current() at construction). Queue events are
+    // 1-in-64 sampled, so a modest ring covers the whole run.
+    obs::TraceBuffer trace(1u << 14);
+    if (!tracePath.empty()) {
+        trace.install();
+#if !defined(LEASEOS_TRACING)
+        std::fprintf(stderr,
+                     "[bench_eventqueue] warning: --trace given but hooks "
+                     "are compiled out; rebuild with -DLEASEOS_TRACING=ON\n");
+#endif
     }
 
     const std::uint64_t window = 4096; // pending events in steady state
@@ -286,6 +304,18 @@ main(int argc, char **argv)
                       harness::ResultSink::Value::num(r.allocsPerOp, 6)}});
     }
     sink.finish();
+    if (!tracePath.empty()) {
+        if (!obs::writeTraceFile(trace, tracePath))
+            std::fprintf(stderr, "[bench_eventqueue] cannot write %s\n",
+                         tracePath.c_str());
+        else
+            std::fprintf(stderr,
+                         "[bench_eventqueue] wrote %s (%llu events "
+                         "retained, %llu emitted)\n",
+                         tracePath.c_str(),
+                         static_cast<unsigned long long>(trace.size()),
+                         static_cast<unsigned long long>(trace.emitted()));
+    }
     std::fprintf(stderr, "[bench_eventqueue] fired=%llu\n",
                  static_cast<unsigned long long>(g_fired));
     return 0;

@@ -12,10 +12,10 @@
 #include <iostream>
 
 #include "apps/registry.h"
-#include "harness/csv_export.h"
 #include "harness/device.h"
 #include "harness/figure.h"
 #include "harness/metrics.h"
+#include "harness/result_sink.h"
 #include "harness/table.h"
 
 using namespace leaseos;
@@ -54,8 +54,8 @@ main()
         "Number of active leases over a one-hour period (30 min active "
         "use of 12 popular apps, then 30 min untouched).");
     std::cout << harness::seriesFigure({&sampler.series("active_leases")});
-    harness::maybeWriteCsv("fig11_active_leases",
-                           sampler.series("active_leases"));
+    harness::maybeExportSeriesCsv("fig11_active_leases",
+                                  sampler.series("active_leases"));
 
     // Merge dead-lease stats with leases still alive at the end of the
     // hour (long-lived playback leases are usually among the latter).

@@ -12,10 +12,10 @@
 #include <iostream>
 
 #include "apps/buggy/better_weather.h"
-#include "harness/csv_export.h"
 #include "harness/device.h"
 #include "harness/figure.h"
 #include "harness/metrics.h"
+#include "harness/result_sink.h"
 
 using namespace leaseos;
 using sim::operator""_s;
@@ -51,9 +51,9 @@ main()
     std::cout << harness::seriesFigure(
         {&sampler.series("gps_try_duration_s"),
          &sampler.series("failed_try_s")});
-    harness::maybeWriteCsv("fig1_gps_ask",
-                           {&sampler.series("gps_try_duration_s"),
-                            &sampler.series("failed_try_s")});
+    harness::maybeExportSeriesCsv("fig1_gps_ask",
+                                  {&sampler.series("gps_try_duration_s"),
+                                   &sampler.series("failed_try_s")});
 
     double mean_try = sampler.series("gps_try_duration_s").mean();
     std::cout << "\nmean GPS try duration per 60s interval: " << mean_try

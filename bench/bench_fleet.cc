@@ -17,7 +17,12 @@
  *
  * Flags: --devices=N (1..500, default 100), --minutes=M (virtual minutes
  * per device, default 30), --jobs=N / -j N (worker pool, default
- * automatic). CI smoke runs `--devices=50 --minutes=5`.
+ * automatic), --trace=PATH (export the first LeaseOS device's trace ring;
+ * needs a -DLEASEOS_TRACING=ON build). CI smoke runs `--devices=50
+ * --minutes=5`.
+ *
+ * Every device runs with a MetricRegistry installed; per-device metric
+ * rollups ride in the JSON artifact (stdout keeps the aggregate table).
  */
 
 #include <chrono>
@@ -105,11 +110,14 @@ main(int argc, char **argv)
 {
     long devices = 100;
     long minutes = 30;
+    std::string tracePath;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--devices=", 10) == 0)
             devices = parseValue(argv[i] + 10, "--devices", 1, 500);
         else if (std::strncmp(argv[i], "--minutes=", 10) == 0)
             minutes = parseValue(argv[i] + 10, "--minutes", 1, 24 * 60);
+        else if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            tracePath = argv[i] + 8;
     }
 
     const auto &corpus = apps::table5Specs();
@@ -133,6 +141,9 @@ main(int argc, char **argv)
         spec.probes.emplace_back("events", [](harness::Device &d) {
             return static_cast<double>(d.simulator().executedEvents());
         });
+        spec.collectMetrics = true;
+        // Device 1 is the first LeaseOS device — the interesting trace.
+        if (!tracePath.empty() && i == 1) spec.tracePath = tracePath;
         specs.push_back(std::move(spec));
     }
 
@@ -226,6 +237,18 @@ main(int argc, char **argv)
          {"allocs_per_event",
           ResultSink::Value::num(
               static_cast<double>(allocs) / totalEvents, 4)}});
+    // Per-device MetricRegistry rollups — JSON artifact only, one row per
+    // device, every registered metric flattened to a key. The stdout
+    // table stays the aggregate view.
+    for (const auto &r : results) {
+        ResultSink::Row row;
+        row.emplace_back("group", ResultSink::Value::str("device"));
+        row.emplace_back("name", ResultSink::Value::str(r.name));
+        row.emplace_back("app_mw", ResultSink::Value::num(r.appPowerMw, 3));
+        for (const auto &[metricName, value] : r.metrics)
+            row.emplace_back(metricName, ResultSink::Value::num(value, 3));
+        json.addRow(row);
+    }
     sink.finish();
     std::printf("\nSimulated %.0f events in %.2f s wall — %.0f events/s "
                 "across %d worker(s); %.4f heap allocs/event.\n",

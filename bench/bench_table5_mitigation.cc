@@ -15,9 +15,17 @@
  * size, default hardware_concurrency. Results are identical for every
  * job count. A machine-readable copy of the table lands in
  * BENCH_table5_mitigation.json.
+ *
+ * `--trace-dir=DIR` turns on telemetry for the sweep (the nightly CI
+ * configuration): every cell collects a MetricRegistry rollup into
+ * DIR/rollup.json, and each of the 20 LeaseOS cells exports its trace
+ * ring to DIR/<app>_leaseos.jsonl (populated in -DLEASEOS_TRACING=ON
+ * builds). The stdout table is unaffected.
  */
 
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "apps/registry.h"
 #include "harness/experiment.h"
@@ -35,6 +43,11 @@ main(int argc, char **argv)
 {
     harness::MitigationRunOptions opt; // 30 min, Pixel XL, user glances
 
+    std::string traceDir;
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--trace-dir=", 12) == 0)
+            traceDir = argv[i] + 12;
+
     const MitigationMode modes[] = {
         MitigationMode::None, MitigationMode::LeaseOS,
         MitigationMode::DozeAggressive, MitigationMode::DefDroid};
@@ -43,8 +56,21 @@ main(int argc, char **argv)
     // cell = results[appIndex * 4 + modeIndex].
     std::vector<harness::RunSpec> specs;
     for (const auto &spec : apps::table5Specs())
-        for (MitigationMode mode : modes)
-            specs.push_back(harness::mitigationCellSpec(spec, mode, opt));
+        for (MitigationMode mode : modes) {
+            harness::RunSpec run =
+                harness::mitigationCellSpec(spec, mode, opt);
+            if (!traceDir.empty()) {
+                run.collectMetrics = true;
+                if (mode == MitigationMode::LeaseOS) {
+                    // Lease cells are the interesting traces; a 16K ring
+                    // comfortably holds a 30-minute cell's sampled events.
+                    run.tracePath = traceDir + "/" + spec.key +
+                                    "_leaseos.jsonl";
+                    run.traceCapacity = 1u << 14;
+                }
+            }
+            specs.push_back(std::move(run));
+        }
 
     harness::ParallelRunner runner(harness::ParallelRunner::parseArgs(
         argc, argv));
@@ -118,6 +144,30 @@ main(int argc, char **argv)
                  {"DefDroid%",
                   ResultSink::Value::num(sum_defdroid / rows)}});
     sink.finish();
+    if (!traceDir.empty()) {
+        // Per-cell metric rollups for the nightly artifact: one row per
+        // cell, every registered metric flattened to a key.
+        harness::JsonSink rollup(traceDir + "/rollup.json");
+        rollup.begin("Table 5 telemetry",
+                     "Per-cell MetricRegistry rollups for the 80-cell "
+                     "sweep; LeaseOS cells also export trace rings "
+                     "alongside this file.");
+        for (const auto &r : results) {
+            ResultSink::Row row;
+            row.emplace_back("cell", ResultSink::Value::str(r.name));
+            row.emplace_back("app_mw",
+                             ResultSink::Value::num(r.appPowerMw, 3));
+            row.emplace_back(
+                "trace_events",
+                ResultSink::Value::count(static_cast<std::int64_t>(
+                    r.traceEventsEmitted)));
+            for (const auto &[metricName, value] : r.metrics)
+                row.emplace_back(metricName,
+                                 ResultSink::Value::num(value, 3));
+            rollup.addRow(row);
+        }
+        rollup.finish();
+    }
     std::cout << "\nPaper averages: LeaseOS 92.62%, Doze* 69.64%, "
                  "DefDroid 62.04%.\n";
     return 0;

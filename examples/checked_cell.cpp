@@ -23,10 +23,12 @@ main()
     const apps::BuggyAppSpec &spec = apps::buggySpec("torch");
     harness::MitigationRunOptions opt; // 30 min, Pixel XL, user glances
 
-    harness::MitigationRunResult vanilla = harness::runMitigationCell(
-        spec, harness::MitigationMode::None, opt);
-    harness::MitigationRunResult leased = harness::runMitigationCell(
-        spec, harness::MitigationMode::LeaseOS, opt);
+    harness::RunResult vanilla = harness::runScenario(
+        harness::mitigationCellSpec(spec, harness::MitigationMode::None,
+                                    opt));
+    harness::RunResult leased = harness::runScenario(
+        harness::mitigationCellSpec(spec, harness::MitigationMode::LeaseOS,
+                                    opt));
 
     std::cout << spec.display << ": " << vanilla.appPowerMw
               << " mW without leases, " << leased.appPowerMw

@@ -103,6 +103,7 @@ InvariantOracle::noteLeaseTransition(sim::Time now, lease::LeaseId id,
                                      lease::LeaseState from,
                                      lease::LeaseState to)
 {
+    ++transitionsChecked_;
     if (legalTransition(from, to)) return;
     std::ostringstream detail;
     detail << "illegal transition " << lease::leaseStateName(from) << " -> "

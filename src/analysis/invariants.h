@@ -132,6 +132,13 @@ class InvariantOracle
     bool clean() const { return violations_.empty(); }
     void reset() { violations_.clear(); }
 
+    /**
+     * Lease transitions this oracle has checked — the independent count
+     * the telemetry rollup is validated against (a traced+checked run
+     * must report lease.transitions.* summing to exactly this).
+     */
+    std::uint64_t transitionsChecked() const { return transitionsChecked_; }
+
     /** The Fig. 5 transition relation (exposed for tests). */
     static bool legalTransition(lease::LeaseState from,
                                 lease::LeaseState to);
@@ -143,6 +150,7 @@ class InvariantOracle
     bool installed_ = false;
     InvariantOracle *previous_ = nullptr;
     std::vector<Violation> violations_;
+    std::uint64_t transitionsChecked_ = 0;
 };
 
 } // namespace leaseos::analysis

@@ -33,13 +33,6 @@ mitigationCellSpec(const apps::BuggyAppSpec &spec, MitigationMode mode,
     return run;
 }
 
-MitigationRunResult
-runMitigationCell(const apps::BuggyAppSpec &spec, MitigationMode mode,
-                  const MitigationRunOptions &opt)
-{
-    return runScenario(mitigationCellSpec(spec, mode, opt));
-}
-
 double
 reductionPercent(double baselineMw, double mitigatedMw)
 {

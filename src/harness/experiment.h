@@ -3,15 +3,15 @@
 
 /**
  * @file
- * Legacy Table-5 cell runner, kept as a thin shim over the generic
- * scenario-run API in harness/runner.h.
+ * Table-5 cell spec builder over the generic scenario-run API in
+ * harness/runner.h.
  *
- * New code should build RunSpecs (and sweep them with ParallelRunner)
- * directly; this header remains so older benches and tests keep their
- * one-call entry point: run one buggy app for 30 minutes under a
- * mitigation mode on a Pixel XL, sampling power every 100 ms, with a
+ * mitigationCellSpec() describes the paper's standard cell: run one buggy
+ * app for 30 minutes under a mitigation mode on a Pixel XL, with a
  * background "lightly attended device" script (occasional glances /
- * pocket movement) that gives Doze its realistic interruptions.
+ * pocket movement) that gives Doze its realistic interruptions. Callers
+ * execute the spec with runScenario() or sweep lists of them with
+ * ParallelRunner.
  */
 
 #include "harness/runner.h"
@@ -22,9 +22,6 @@ struct BuggyAppSpec;
 } // namespace leaseos::apps
 
 namespace leaseos::harness {
-
-/** Outcome of one mitigation run (the generic scenario result). */
-using MitigationRunResult = RunResult;
 
 /** Options for a Table 5 cell run. */
 struct MitigationRunOptions {
@@ -49,18 +46,12 @@ struct MitigationRunOptions {
 installGlanceScript(Device &device, const MitigationRunOptions &opt);
 
 /**
- * Build the RunSpec for one buggy-app × mitigation-mode Table 5 cell
- * (what runMitigationCell executes; benches feed these to a
- * ParallelRunner instead).
+ * Build the RunSpec for one buggy-app × mitigation-mode Table 5 cell;
+ * execute with runScenario() or feed lists of them to a ParallelRunner.
  */
 RunSpec mitigationCellSpec(const apps::BuggyAppSpec &spec,
                            MitigationMode mode,
                            const MitigationRunOptions &opt = {});
-
-/** Run one buggy-app × mitigation-mode cell (shim over runScenario). */
-MitigationRunResult runMitigationCell(const apps::BuggyAppSpec &spec,
-                                      MitigationMode mode,
-                                      const MitigationRunOptions &opt = {});
 
 /** Reduction percentage of @p mitigated relative to @p baseline. */
 double reductionPercent(double baselineMw, double mitigatedMw);

@@ -6,44 +6,85 @@
  * Periodic metric sampling — the §2.1 profiling tool ("samples a vector of
  * per-app metrics every 60 s, e.g., wakelock time, CPU usage") generalised
  * to arbitrary gauges. Figures 1-4 and 11 are produced with it.
+ *
+ * The sampler is a thin periodic pump over the obs::MetricRegistry
+ * (DESIGN.md §9): every gauge is a registry-interned metric addressed by
+ * dense MetricId — no per-name map lookups on the sampling tick — and the
+ * recorded time series live in a flat vector in registration order.
+ *
+ * Two gauge styles:
+ *  - addGauge: a registry *bound gauge*; the level is recorded each tick;
+ *  - addDeltaGauge: a registry *bound counter*; the increase over each
+ *    interval is recorded (how the paper reports "wakelock time per 60 s").
+ *
+ * Push metrics registered elsewhere (e.g. the lease manager's counters in
+ * an externally supplied registry) can be pumped too via watch().
  */
 
 #include <functional>
-#include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "obs/metric_registry.h"
 #include "sim/simulator.h"
 #include "sim/time_series.h"
 
 namespace leaseos::harness {
 
 /**
- * Samples registered gauges into time series.
- *
- * Two gauge styles:
- *  - addGauge: records the gauge value at each tick;
- *  - addDeltaGauge: records the increase of a monotonic counter over each
- *    interval (how the paper reports "wakelock time per 60 s").
+ * Samples registry metrics into time series at a fixed period.
  */
 class MetricsSampler
 {
   public:
+    /** Standalone sampler over a private registry. */
     MetricsSampler(sim::Simulator &sim, sim::Time period)
-        : sim_(sim), period_(period) {}
-
-    void
-    addGauge(const std::string &name, std::function<double()> fn)
+        : sim_(sim), period_(period),
+          owned_(std::make_unique<obs::MetricRegistry>()),
+          registry_(owned_.get())
     {
-        gauges_[name] = std::move(fn);
-        series_.emplace(name, sim::TimeSeries(name));
     }
 
-    void
+    /** Pump an existing registry (e.g. the run's installed one). */
+    MetricsSampler(sim::Simulator &sim, sim::Time period,
+                   obs::MetricRegistry &registry)
+        : sim_(sim), period_(period), registry_(&registry)
+    {
+    }
+
+    obs::MetricRegistry &registry() { return *registry_; }
+
+    /** Register + watch a level gauge; records fn() at each tick. */
+    obs::MetricId
+    addGauge(const std::string &name, std::function<double()> fn)
+    {
+        return watch(registry_->boundGauge(name, std::move(fn)));
+    }
+
+    /**
+     * Register + watch a monotonic counter; records its per-interval
+     * increase. The baseline is captured here, at registration.
+     */
+    obs::MetricId
     addDeltaGauge(const std::string &name, std::function<double()> fn)
     {
-        last_[name] = fn();
-        deltas_[name] = std::move(fn);
-        series_.emplace(name, sim::TimeSeries(name));
+        return watch(registry_->boundCounter(name, std::move(fn)));
+    }
+
+    /**
+     * Pump an already-registered metric. Counter kinds (push or bound)
+     * sample as deltas from the value at watch() time; gauge kinds (and
+     * histograms, via their observation count) sample as levels.
+     */
+    obs::MetricId
+    watch(obs::MetricId id)
+    {
+        bool delta = registry_->kind(id) == obs::MetricKind::Counter ||
+                     registry_->kind(id) == obs::MetricKind::BoundCounter;
+        watches_.push_back(Watch{id, delta, registry_->value(id),
+                                 sim::TimeSeries(registry_->name(id))});
+        return id;
     }
 
     void
@@ -57,29 +98,39 @@ class MetricsSampler
     const sim::TimeSeries &
     series(const std::string &name) const
     {
-        return series_.at(name);
+        for (const Watch &w : watches_)
+            if (registry_->name(w.id) == name) return w.series;
+        throw std::out_of_range("no sampled metric named '" + name + "'");
     }
 
   private:
+    struct Watch {
+        obs::MetricId id;
+        bool delta;
+        double last;
+        sim::TimeSeries series;
+    };
+
     void
     sample()
     {
-        for (auto &[name, fn] : gauges_)
-            series_.at(name).record(sim_.now(), fn());
-        for (auto &[name, fn] : deltas_) {
-            double v = fn();
-            series_.at(name).record(sim_.now(), v - last_[name]);
-            last_[name] = v;
+        for (Watch &w : watches_) {
+            double v = registry_->value(w.id);
+            if (w.delta) {
+                w.series.record(sim_.now(), v - w.last);
+                w.last = v;
+            } else {
+                w.series.record(sim_.now(), v);
+            }
         }
     }
 
     sim::Simulator &sim_;
     sim::Time period_;
     sim::PeriodicHandle tick_;
-    std::map<std::string, std::function<double()>> gauges_;
-    std::map<std::string, std::function<double()>> deltas_;
-    std::map<std::string, double> last_;
-    std::map<std::string, sim::TimeSeries> series_;
+    std::unique_ptr<obs::MetricRegistry> owned_;
+    obs::MetricRegistry *registry_;
+    std::vector<Watch> watches_;
 };
 
 } // namespace leaseos::harness

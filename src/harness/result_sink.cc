@@ -2,11 +2,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 
-#include "harness/csv_export.h"
 #include "harness/figure.h"
 #include "harness/table.h"
 
@@ -63,11 +64,72 @@ jsonEscape(const std::string &s)
 }
 
 std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+csvOutputDir()
+{
+    const char *dir = std::getenv("LEASEOS_OUT");
+    return dir ? std::string(dir) : std::string();
+}
+
+std::string
 benchArtifactPath(const std::string &benchName)
 {
     std::string file = "BENCH_" + benchName + ".json";
     std::string dir = csvOutputDir();
     return dir.empty() ? file : dir + "/" + file;
+}
+
+bool
+maybeExportSeriesCsv(const std::string &name,
+                     const std::vector<const sim::TimeSeries *> &series)
+{
+    std::string dir = csvOutputDir();
+    if (dir.empty()) return false;
+    std::ofstream out(dir + "/" + name + ".csv");
+    if (!out) return false;
+
+    out << "time_s";
+    for (const auto *s : series)
+        out << "," << csvEscape(s->name().empty() ? "value" : s->name());
+    out << "\n";
+
+    // Union of timestamps; blank cells where a series has no sample.
+    std::map<std::int64_t, std::vector<std::string>> rows;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        for (const auto &p : series[i]->points()) {
+            auto &row = rows[p.t.nanos()];
+            row.resize(series.size());
+            row[i] = std::to_string(p.value);
+        }
+    }
+    for (auto &[ns, row] : rows) {
+        row.resize(series.size());
+        out << static_cast<double>(ns) / 1e9;
+        for (const auto &cell : row) out << "," << cell;
+        out << "\n";
+    }
+    return true;
+}
+
+bool
+maybeExportSeriesCsv(const std::string &name, const sim::TimeSeries &series)
+{
+    return maybeExportSeriesCsv(
+        name, std::vector<const sim::TimeSeries *>{&series});
 }
 
 // ---- TextTableSink ------------------------------------------------------
@@ -153,6 +215,56 @@ JsonSink::document() const
 
 void
 JsonSink::finish()
+{
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+        std::cerr << "[result_sink] cannot write " << path_ << "\n";
+        return;
+    }
+    out << document();
+    std::cerr << "[result_sink] wrote " << path_ << "\n";
+}
+
+// ---- CsvSink ------------------------------------------------------------
+
+CsvSink::CsvSink(std::string path) : path_(std::move(path)) {}
+
+void
+CsvSink::begin(const std::string &, const std::string &)
+{
+    // CSV carries no caption; the artefact is named by its path.
+}
+
+void
+CsvSink::addRow(const Row &row)
+{
+    rows_.push_back(row);
+}
+
+std::string
+CsvSink::document() const
+{
+    std::ostringstream os;
+    if (rows_.empty()) return {};
+    const Row &first = rows_.front();
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        if (i) os << ",";
+        os << csvEscape(first[i].first);
+    }
+    os << "\n";
+    for (const Row &row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i) os << ",";
+            os << csvEscape(row[i].second.toText());
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+CsvSink::finish()
 {
     if (path_.empty()) return;
     std::ofstream out(path_);

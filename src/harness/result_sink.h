@@ -8,8 +8,13 @@
  * A bench assembles rows of named cells once and hands them to one or
  * more ResultSinks: TextTableSink renders the familiar aligned table on
  * stdout, JsonSink writes a `BENCH_<name>.json` artifact so sweeps can be
- * diffed, plotted, and regression-checked without scraping text. Key
- * order is stable: cells serialise in insertion order in every emitter.
+ * diffed, plotted, and regression-checked without scraping text, CsvSink
+ * writes the same rows as a spreadsheet-ready CSV file. Key order is
+ * stable: cells serialise in insertion order in every emitter.
+ *
+ * The module also owns the $LEASEOS_OUT artifact-directory convention and
+ * the figure benches' raw time-series CSV export (maybeExportSeriesCsv),
+ * so every escaping/formatting rule lives in exactly one place.
  */
 
 #include <cstdint>
@@ -17,6 +22,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "sim/time_series.h"
 
 namespace leaseos::harness {
 
@@ -139,6 +146,34 @@ class JsonSink : public ResultSink
     std::vector<Row> rows_;
 };
 
+/**
+ * Serialises the result set as RFC-4180-style CSV: one header line from
+ * the first row's keys, then one line per row. Fields containing commas,
+ * quotes, or newlines are quoted with doubled inner quotes (csvEscape).
+ * With a path, finish() writes the file; document() returns the text
+ * either way. Separators are ignored (CSV has no visual rows).
+ */
+class CsvSink : public ResultSink
+{
+  public:
+    /** In-memory document only (tests, embedding). */
+    CsvSink() = default;
+    /** Write to @p path on finish(). */
+    explicit CsvSink(std::string path);
+
+    void begin(const std::string &benchId,
+               const std::string &caption) override;
+    void addRow(const Row &row) override;
+    void finish() override;
+
+    std::string document() const;
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::vector<Row> rows_;
+};
+
 /** Broadcasts every call to a set of sinks (table + JSON together). */
 class TeeSink : public ResultSink
 {
@@ -174,11 +209,30 @@ class TeeSink : public ResultSink
 /** JSON string escaping (quotes, backslashes, control characters). */
 std::string jsonEscape(const std::string &s);
 
+/** CSV field escaping: quote (doubling inner quotes) only when needed. */
+std::string csvEscape(const std::string &s);
+
 /**
  * Artifact path for a bench: `$LEASEOS_OUT/BENCH_<name>.json` when the
  * export directory is configured, else `BENCH_<name>.json` in the CWD.
  */
 std::string benchArtifactPath(const std::string &benchName);
+
+/** Artifact directory from $LEASEOS_OUT, or empty when export is off. */
+std::string csvOutputDir();
+
+/**
+ * Raw time-series export for the figure benches: write @p series as
+ * "<$LEASEOS_OUT>/<name>.csv" with one shared time column per row (blank
+ * cells where a series has no sample at that instant).
+ * @retval true if a file was written (false when export is disabled).
+ */
+bool maybeExportSeriesCsv(const std::string &name,
+                          const std::vector<const sim::TimeSeries *> &series);
+
+/** Single-series convenience overload. */
+bool maybeExportSeriesCsv(const std::string &name,
+                          const sim::TimeSeries &series);
 
 } // namespace leaseos::harness
 

@@ -6,9 +6,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+
+#include "obs/metric_registry.h"
+#include "obs/trace_export.h"
 
 namespace leaseos::harness {
 
@@ -18,6 +22,14 @@ RunResult::probe(const std::string &probeName) const
     for (const auto &[name_, value] : probes)
         if (name_ == probeName) return value;
     throw std::out_of_range("no probe named '" + probeName + "'");
+}
+
+double
+RunResult::metric(const std::string &metricName) const
+{
+    for (const auto &[name_, value] : metrics)
+        if (name_ == metricName) return value;
+    throw std::out_of_range("no metric named '" + metricName + "'");
 }
 
 sim::PeriodicHandle
@@ -51,9 +63,71 @@ runScenario(const RunSpec &spec)
     return runScenario(spec, spec.config);
 }
 
+namespace {
+
+/**
+ * Per-run telemetry scope: installs a MetricRegistry and/or TraceBuffer
+ * on this thread before the Device is constructed (components cache
+ * current() at construction) and uninstalls on scope exit, keeping
+ * parallel sweeps isolated. RAII so a throwing scenario can't leak an
+ * installed sink into the worker's next run.
+ */
+class TelemetryScope
+{
+  public:
+    explicit TelemetryScope(const RunSpec &spec)
+    {
+        if (spec.collectMetrics || !spec.tracePath.empty()) {
+            registry_ = std::make_unique<obs::MetricRegistry>();
+            registry_->install();
+        }
+        if (!spec.tracePath.empty()) {
+            trace_ = std::make_unique<obs::TraceBuffer>(spec.traceCapacity);
+            trace_->install();
+#if !defined(LEASEOS_TRACING)
+            std::fprintf(stderr,
+                         "warning: %s: trace requested but hooks are "
+                         "compiled out; rebuild with -DLEASEOS_TRACING=ON "
+                         "for a populated trace\n",
+                         spec.name.empty() ? "run" : spec.name.c_str());
+#endif
+        }
+    }
+
+    ~TelemetryScope()
+    {
+        if (trace_) trace_->uninstall();
+        if (registry_) registry_->uninstall();
+    }
+
+    TelemetryScope(const TelemetryScope &) = delete;
+    TelemetryScope &operator=(const TelemetryScope &) = delete;
+
+    /** Snapshot metrics / export the trace into @p result. */
+    void
+    finish(const RunSpec &spec, RunResult &result) const
+    {
+        if (registry_) result.metrics = registry_->snapshot();
+        if (trace_) {
+            result.traceEventsRetained = trace_->size();
+            result.traceEventsEmitted = trace_->emitted();
+            if (!obs::writeTraceFile(*trace_, spec.tracePath))
+                std::fprintf(stderr, "warning: cannot write trace %s\n",
+                             spec.tracePath.c_str());
+        }
+    }
+
+  private:
+    std::unique_ptr<obs::MetricRegistry> registry_;
+    std::unique_ptr<obs::TraceBuffer> trace_;
+};
+
+} // namespace
+
 RunResult
 runScenario(const RunSpec &spec, const DeviceConfig &config)
 {
+    TelemetryScope telemetry(spec);
     Device device(config);
 
     for (const auto &fn : spec.setup) fn(device);
@@ -98,6 +172,8 @@ runScenario(const RunSpec &spec, const DeviceConfig &config)
     result.probes.reserve(spec.probes.size());
     for (const auto &[name, fn] : spec.probes)
         result.probes.emplace_back(name, fn(device));
+
+    telemetry.finish(spec, result);
     return result;
 }
 

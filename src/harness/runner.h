@@ -25,6 +25,7 @@
 
 #include "harness/device.h"
 #include "lease/behavior.h"
+#include "obs/trace.h"
 #include "sim/time.h"
 
 namespace leaseos::app {
@@ -85,6 +86,18 @@ struct RunSpec {
      */
     std::vector<std::pair<std::string, std::function<double(Device &)>>>
         probes;
+
+    /**
+     * Telemetry (DESIGN.md §9). When collectMetrics is set, a
+     * MetricRegistry is installed for the run's thread and its snapshot
+     * lands in RunResult::metrics. When tracePath is non-empty, a
+     * TraceBuffer ring of traceCapacity events is installed and exported
+     * there after the run (".jsonl" → JSON-lines, else Chrome
+     * trace_event; hooks require a -DLEASEOS_TRACING=ON build).
+     */
+    bool collectMetrics = false;
+    std::string tracePath;
+    std::size_t traceCapacity = obs::TraceBuffer::kDefaultCapacity;
 
     // ---- Fluent helpers (keep spec lists declarative) -------------------
 
@@ -147,6 +160,20 @@ struct RunSpec {
         probes.emplace_back(std::move(probeName), std::move(fn));
         return *this;
     }
+    RunSpec &
+    withMetrics(bool on = true)
+    {
+        collectMetrics = on;
+        return *this;
+    }
+    RunSpec &
+    withTrace(std::string path,
+              std::size_t capacity = obs::TraceBuffer::kDefaultCapacity)
+    {
+        tracePath = std::move(path);
+        traceCapacity = capacity;
+        return *this;
+    }
 };
 
 /** Outcome of one scenario run. Field-wise comparable for determinism
@@ -172,8 +199,21 @@ struct RunResult {
     /** Probe values, in RunSpec::probes order. */
     std::vector<std::pair<std::string, double>> probes;
 
+    /**
+     * MetricRegistry snapshot in registration order (empty unless
+     * RunSpec::collectMetrics was set). Deterministic across job counts.
+     */
+    std::vector<std::pair<std::string, double>> metrics;
+
+    /** Trace-ring accounting (zero unless RunSpec::tracePath was set). */
+    std::uint64_t traceEventsRetained = 0;
+    std::uint64_t traceEventsEmitted = 0;
+
     /** Probe value by name; throws std::out_of_range if absent. */
     double probe(const std::string &probeName) const;
+
+    /** Registry metric by name; throws std::out_of_range if absent. */
+    double metric(const std::string &metricName) const;
 
     friend bool operator==(const RunResult &, const RunResult &) = default;
 };

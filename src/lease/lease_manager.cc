@@ -2,6 +2,7 @@
 
 #include "analysis/invariants.h"
 #include "lease/utility/generic_utility.h"
+#include "obs/trace.h"
 #include "sim/logging.h"
 
 namespace {
@@ -14,11 +15,90 @@ namespace {
 
 namespace leaseos::lease {
 
+namespace {
+
+[[maybe_unused]] obs::TraceCode
+transitionCode(LeaseState to)
+{
+    switch (to) {
+      case LeaseState::Active: return obs::TraceCode::LeaseToActive;
+      case LeaseState::Inactive: return obs::TraceCode::LeaseToInactive;
+      case LeaseState::Deferred: return obs::TraceCode::LeaseToDeferred;
+      case LeaseState::Dead: return obs::TraceCode::LeaseToDead;
+    }
+    return obs::TraceCode::LeaseToDead;
+}
+
+[[maybe_unused]] obs::TraceCode
+classifyCode(BehaviorType b)
+{
+    switch (b) {
+      case BehaviorType::Normal: return obs::TraceCode::ClassifyNormal;
+      case BehaviorType::FrequentAsk:
+        return obs::TraceCode::ClassifyFrequentAsk;
+      case BehaviorType::LongHolding:
+        return obs::TraceCode::ClassifyLongHolding;
+      case BehaviorType::LowUtility:
+        return obs::TraceCode::ClassifyLowUtility;
+      case BehaviorType::ExcessiveUse:
+        return obs::TraceCode::ClassifyExcessiveUse;
+    }
+    return obs::TraceCode::ClassifyNormal;
+}
+
+} // namespace
+
 LeaseManagerService::LeaseManagerService(sim::Simulator &sim,
                                          power::CpuModel &cpu,
                                          LeasePolicy policy)
-    : sim_(sim), cpu_(cpu), policy_(policy), classifier_(policy.thresholds)
+    : sim_(sim), cpu_(cpu), policy_(policy), classifier_(policy.thresholds),
+      metrics_(obs::MetricRegistry::current())
 {
+    if (metrics_) initMetrics();
+}
+
+void
+LeaseManagerService::initMetrics()
+{
+    obs::MetricRegistry &r = *metrics_;
+    m_.created = r.counter("lease.created");
+    m_.renewals = r.counter("lease.renewals");
+    m_.deferrals = r.counter("lease.deferrals");
+    m_.termChecks = r.counter("lease.term_checks");
+    m_.toActive = r.counter("lease.transitions.to_active");
+    m_.toInactive = r.counter("lease.transitions.to_inactive");
+    m_.toDeferred = r.counter("lease.transitions.to_deferred");
+    m_.toDead = r.counter("lease.transitions.to_dead");
+    m_.grant = r.counter("proxy.grant");
+    m_.deny = r.counter("proxy.deny");
+    m_.defer = r.counter("proxy.defer");
+    m_.utilityCharges = r.counter("utility.charges");
+    m_.utilityScore = r.histogram("utility.score");
+    m_.termSeconds = r.histogram("lease.term_seconds");
+    const BehaviorType kinds[] = {
+        BehaviorType::Normal, BehaviorType::FrequentAsk,
+        BehaviorType::LongHolding, BehaviorType::LowUtility,
+        BehaviorType::ExcessiveUse};
+    for (BehaviorType b : kinds)
+        m_.behavior[static_cast<std::size_t>(b)] =
+            r.counter(std::string("behavior.") + behaviorName(b));
+}
+
+void
+LeaseManagerService::noteTransition(const Lease &lease, LeaseState to)
+{
+    if (metrics_) {
+        switch (to) {
+          case LeaseState::Active: metrics_->add(m_.toActive); break;
+          case LeaseState::Inactive: metrics_->add(m_.toInactive); break;
+          case LeaseState::Deferred: metrics_->add(m_.toDeferred); break;
+          case LeaseState::Dead: metrics_->add(m_.toDead); break;
+        }
+    }
+    // Payload carries the from-state so the timeline shows the full edge.
+    LEASEOS_TRACE(emit(sim_.now(), obs::TraceCategory::Lease,
+                       transitionCode(to), lease.uid, lease.id,
+                       static_cast<std::uint64_t>(lease.state)));
 }
 
 bool
@@ -85,6 +165,10 @@ LeaseManagerService::create(ResourceType rtype, os::TokenId token, Uid uid)
             }
         }
     }
+    if (metrics_) metrics_->add(m_.created);
+    LEASEOS_TRACE(emit(sim_.now(), obs::TraceCategory::Lease,
+                       obs::TraceCode::LeaseCreated, lease.uid, lease.id,
+                       static_cast<std::uint64_t>(lease.rtype)));
     startTerm(lease, policy_.termFor(0));
     return lease.id;
 }
@@ -95,6 +179,11 @@ LeaseManagerService::check(LeaseId id)
     Lease *lease = table_.find(id);
     bool ok = lease && lease->state == LeaseState::Active;
     chargeAccounting(ok ? kCheckAcceptLatency : kCheckRejectLatency);
+    if (metrics_) metrics_->add(ok ? m_.grant : m_.deny);
+    LEASEOS_TRACE(emit(sim_.now(), obs::TraceCategory::Proxy,
+                       ok ? obs::TraceCode::ProxyGrant
+                          : obs::TraceCode::ProxyDeny,
+                       lease ? lease->uid : kInvalidUid, id));
     return ok;
 }
 
@@ -111,9 +200,11 @@ LeaseManagerService::renew(LeaseId id)
         LEASEOS_ORACLE(noteLeaseTransition(sim_.now(), lease->id,
                                            lease->state,
                                            LeaseState::Active));
+        noteTransition(*lease, LeaseState::Active);
         lease->state = LeaseState::Active;
         ++lease->termIndex;
         ++totalRenewals_;
+        if (metrics_) metrics_->add(m_.renewals);
         startTerm(*lease, policy_.termFor(lease->consecutiveNormal));
     }
     return true;
@@ -130,6 +221,7 @@ LeaseManagerService::remove(LeaseId id)
     }
     LEASEOS_ORACLE(noteLeaseTransition(sim_.now(), lease->id, lease->state,
                                        LeaseState::Dead));
+    noteTransition(*lease, LeaseState::Dead);
     lease->state = LeaseState::Dead;
     recordDeath(*lease);
     table_.reap(id);
@@ -151,6 +243,10 @@ LeaseManagerService::noteAcquire(LeaseId id)
       case LeaseState::Deferred:
         // §4.6: the subsystem pretends the acquire succeeded; nothing to
         // do until the deferral ends.
+        if (metrics_) metrics_->add(m_.defer);
+        LEASEOS_TRACE(emit(sim_.now(), obs::TraceCategory::Proxy,
+                           obs::TraceCode::ProxyDefer, lease->uid,
+                           lease->id));
         break;
       case LeaseState::Active:
       case LeaseState::Dead:
@@ -204,6 +300,11 @@ LeaseManagerService::onTermEnd(LeaseId id)
     lease->pendingEvent = sim::kInvalidEventId;
     ++termChecks_;
     chargeAccounting(kUpdateLatency);
+    if (metrics_) {
+        metrics_->add(m_.termChecks);
+        metrics_->observe(m_.termSeconds,
+                          (sim_.now() - lease->termStart).seconds());
+    }
 
     LeaseProxy *proxy = proxyFor(lease->rtype);
     if (!proxy) {
@@ -216,6 +317,7 @@ LeaseManagerService::onTermEnd(LeaseId id)
         LEASEOS_ORACLE(noteLeaseTransition(sim_.now(), lease->id,
                                            lease->state,
                                            LeaseState::Inactive));
+        noteTransition(*lease, LeaseState::Inactive);
         lease->state = LeaseState::Inactive;
         return;
     }
@@ -224,6 +326,13 @@ LeaseManagerService::onTermEnd(LeaseId id)
     LeaseStat stat = proxy->collectStat(*lease);
     stat.utilityScore = utility::combine(
         stat.utilityScore, utilityFor(lease->uid, lease->rtype));
+    if (metrics_) {
+        metrics_->add(m_.utilityCharges);
+        metrics_->observe(m_.utilityScore, stat.utilityScore);
+    }
+    LEASEOS_TRACE(emit(sim_.now(), obs::TraceCategory::Utility,
+                       obs::TraceCode::UtilityCharge, lease->uid, lease->id,
+                       obs::payloadFromDouble(stat.utilityScore)));
 
     TermRecord record;
     record.stat = stat;
@@ -236,6 +345,12 @@ LeaseManagerService::onTermEnd(LeaseId id)
                     << "s use=" << record.stat.usageSeconds
                     << "s utility=" << record.stat.utilityScore;
     ++behaviorCounts_[record.behavior];
+    if (metrics_)
+        metrics_->add(
+            m_.behavior[static_cast<std::size_t>(record.behavior)]);
+    LEASEOS_TRACE(emit(sim_.now(), obs::TraceCategory::Classifier,
+                       classifyCode(record.behavior), lease->uid, lease->id,
+                       static_cast<std::uint64_t>(lease->termIndex)));
     lease->recordTerm(record, policy_.historyDepth);
     if (termObserver_) termObserver_(*lease, record);
 
@@ -262,6 +377,7 @@ LeaseManagerService::onTermEnd(LeaseId id)
                 lease->consecutiveNormal = 0;
                 ++lease->termIndex;
                 ++totalRenewals_;
+                if (metrics_) metrics_->add(m_.renewals);
                 startTerm(*lease, policy_.initialTerm);
                 return;
             }
@@ -285,9 +401,11 @@ LeaseManagerService::onTermEnd(LeaseId id)
         LEASEOS_ORACLE(noteLeaseTransition(sim_.now(), lease->id,
                                            lease->state,
                                            LeaseState::Deferred));
+        noteTransition(*lease, LeaseState::Deferred);
         lease->state = LeaseState::Deferred;
         ++lease->deferrals;
         ++totalDeferrals_;
+        if (metrics_) metrics_->add(m_.deferrals);
         lease->totalDeferralSeconds += tau.seconds();
         proxy->onExpire(*lease);
         lease->pendingEvent =
@@ -301,6 +419,7 @@ LeaseManagerService::onTermEnd(LeaseId id)
     lease->consecutiveMisbehaved = 0;
     ++lease->termIndex;
     ++totalRenewals_;
+    if (metrics_) metrics_->add(m_.renewals);
     startTerm(*lease, policy_.termFor(lease->consecutiveNormal));
 }
 
@@ -320,9 +439,11 @@ LeaseManagerService::onDeferralEnd(LeaseId id)
         LEASEOS_ORACLE(noteLeaseTransition(sim_.now(), lease->id,
                                            lease->state,
                                            LeaseState::Active));
+        noteTransition(*lease, LeaseState::Active);
         lease->state = LeaseState::Active;
         ++lease->termIndex;
         ++totalRenewals_;
+        if (metrics_) metrics_->add(m_.renewals);
         // Back to the short initial term: the lease just misbehaved.
         startTerm(*lease, policy_.initialTerm);
     } else {
@@ -330,6 +451,7 @@ LeaseManagerService::onDeferralEnd(LeaseId id)
         LEASEOS_ORACLE(noteLeaseTransition(sim_.now(), lease->id,
                                            lease->state,
                                            LeaseState::Inactive));
+        noteTransition(*lease, LeaseState::Inactive);
         lease->state = LeaseState::Inactive;
     }
 }

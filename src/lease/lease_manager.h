@@ -23,6 +23,7 @@
 #include "common/ids.h"
 #include "common/utility_counter.h"
 #include "lease/behavior_classifier.h"
+#include "obs/metric_registry.h"
 #include "lease/lease.h"
 #include "lease/lease_policy.h"
 #include "lease/lease_proxy.h"
@@ -135,6 +136,11 @@ class LeaseManagerService
 
     void recordDeath(Lease &lease);
 
+    /** Intern this service's metrics in the run's registry (DESIGN §9). */
+    void initMetrics();
+    /** Count + trace one state transition (the six Fig. 5 sites). */
+    void noteTransition(const Lease &lease, LeaseState to);
+
     /** §8 extension: misbehaviour reputation outliving the lease. */
     struct Reputation {
         int consecutiveMisbehaved = 0;
@@ -154,6 +160,29 @@ class LeaseManagerService
     std::uint64_t totalDeferrals_ = 0;
     std::uint64_t totalRenewals_ = 0;
     std::uint64_t termChecks_ = 0;
+
+    /** Telemetry (nullptr unless a registry was installed for the run). */
+    obs::MetricRegistry *metrics_ = nullptr;
+    struct Metrics {
+        obs::MetricId created = obs::kInvalidMetricId;
+        obs::MetricId renewals = obs::kInvalidMetricId;
+        obs::MetricId deferrals = obs::kInvalidMetricId;
+        obs::MetricId termChecks = obs::kInvalidMetricId;
+        obs::MetricId toActive = obs::kInvalidMetricId;
+        obs::MetricId toInactive = obs::kInvalidMetricId;
+        obs::MetricId toDeferred = obs::kInvalidMetricId;
+        obs::MetricId toDead = obs::kInvalidMetricId;
+        obs::MetricId grant = obs::kInvalidMetricId;
+        obs::MetricId deny = obs::kInvalidMetricId;
+        obs::MetricId defer = obs::kInvalidMetricId;
+        obs::MetricId utilityCharges = obs::kInvalidMetricId;
+        obs::MetricId utilityScore = obs::kInvalidMetricId; // histogram
+        obs::MetricId termSeconds = obs::kInvalidMetricId;  // histogram
+        obs::MetricId behavior[5] = {
+            obs::kInvalidMetricId, obs::kInvalidMetricId,
+            obs::kInvalidMetricId, obs::kInvalidMetricId,
+            obs::kInvalidMetricId};
+    } m_;
     std::map<BehaviorType, std::uint64_t> behaviorCounts_;
     sim::Accumulator lifespans_;
     sim::Accumulator termCounts_;

@@ -1,0 +1,96 @@
+#include "obs/trace.h"
+
+#include <cassert>
+
+namespace leaseos::obs {
+
+namespace {
+
+thread_local TraceBuffer *t_current = nullptr;
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t cap = 1;
+    while (cap < n) cap <<= 1;
+    return cap;
+}
+
+} // namespace
+
+const char *
+traceCategoryName(TraceCategory cat)
+{
+    switch (cat) {
+    case TraceCategory::Lease: return "lease";
+    case TraceCategory::Proxy: return "proxy";
+    case TraceCategory::Classifier: return "classifier";
+    case TraceCategory::Utility: return "utility";
+    case TraceCategory::Queue: return "queue";
+    case TraceCategory::Power: return "power";
+    }
+    return "?";
+}
+
+const char *
+traceCodeName(TraceCode code)
+{
+    switch (code) {
+    case TraceCode::LeaseCreated: return "lease_created";
+    case TraceCode::LeaseToActive: return "to_active";
+    case TraceCode::LeaseToInactive: return "to_inactive";
+    case TraceCode::LeaseToDeferred: return "to_deferred";
+    case TraceCode::LeaseToDead: return "to_dead";
+    case TraceCode::ProxyGrant: return "grant";
+    case TraceCode::ProxyDeny: return "deny";
+    case TraceCode::ProxyDefer: return "defer";
+    case TraceCode::ClassifyNormal: return "classify_normal";
+    case TraceCode::ClassifyFrequentAsk: return "classify_fab";
+    case TraceCode::ClassifyLongHolding: return "classify_lhb";
+    case TraceCode::ClassifyLowUtility: return "classify_lub";
+    case TraceCode::ClassifyExcessiveUse: return "classify_eub";
+    case TraceCode::UtilityCharge: return "utility_charge";
+    case TraceCode::QueueSchedule: return "schedule";
+    case TraceCode::QueueCancel: return "cancel";
+    case TraceCode::QueueFire: return "fire";
+    case TraceCode::PowerSync: return "power_sync";
+    }
+    return "?";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : ring_(roundUpPow2(capacity == 0 ? 1 : capacity)),
+      mask_(ring_.size() - 1)
+{
+}
+
+TraceBuffer::~TraceBuffer()
+{
+    if (installed_) uninstall();
+}
+
+void
+TraceBuffer::install()
+{
+    assert(!installed_ && "trace buffer installed twice");
+    previous_ = t_current;
+    t_current = this;
+    installed_ = true;
+}
+
+void
+TraceBuffer::uninstall()
+{
+    assert(installed_ && t_current == this);
+    t_current = previous_;
+    previous_ = nullptr;
+    installed_ = false;
+}
+
+TraceBuffer *
+TraceBuffer::current()
+{
+    return t_current;
+}
+
+} // namespace leaseos::obs

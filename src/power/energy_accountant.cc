@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace leaseos::power {
 
 ChannelId
@@ -13,6 +15,9 @@ EnergyAccountant::makeChannel(std::string name)
     sync();
     channels_.emplace_back();
     channels_.back().name = std::move(name);
+    if (metrics_)
+        channels_.back().metric =
+            metrics_->gauge("power." + channels_.back().name + ".mj");
     return static_cast<ChannelId>(channels_.size() - 1);
 }
 
@@ -88,6 +93,19 @@ EnergyAccountant::sync()
     }
     double dt = (now - lastSync_).seconds();
     for (auto &ch : channels_) integrate(ch, dt);
+    if (metrics_)
+        for (const auto &ch : channels_)
+            metrics_->set(ch.metric, ch.energyMj);
+#if defined(LEASEOS_TRACING)
+    // Channel id rides in the lease-id field; energy (mJ) in the payload.
+    // Syncs happen per power event, so decimate 1-in-16 per category.
+    if (obs::TraceBuffer *trace = obs::TraceBuffer::current())
+        for (ChannelId ch = 0; ch < channels_.size(); ++ch)
+            trace->emitSampled(15, now, obs::TraceCategory::Power,
+                               obs::TraceCode::PowerSync, kSystemUid, ch,
+                               obs::payloadFromDouble(
+                                   channels_[ch].energyMj));
+#endif
     lastSync_ = now;
 }
 

@@ -36,6 +36,7 @@
 
 #include "common/ids.h"
 #include "common/inline_vec.h"
+#include "obs/metric_registry.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -51,7 +52,10 @@ using ChannelId = std::uint32_t;
 class EnergyAccountant
 {
   public:
-    explicit EnergyAccountant(sim::Simulator &sim) : sim_(sim) {}
+    explicit EnergyAccountant(sim::Simulator &sim)
+        : sim_(sim), metrics_(obs::MetricRegistry::current())
+    {
+    }
     EnergyAccountant(const EnergyAccountant &) = delete;
     EnergyAccountant &operator=(const EnergyAccountant &) = delete;
 
@@ -144,6 +148,8 @@ class EnergyAccountant
         double energyMj = 0.0;
         /** Per-uid integral, indexed by uid slot (grown at share-set). */
         std::vector<double> uidMj;
+        /** Registry gauge "power.<name>.mj" (telemetry runs only). */
+        obs::MetricId metric = obs::kInvalidMetricId;
     };
 
     /** Dense slot for @p uid, interning it on first sight. */
@@ -153,6 +159,8 @@ class EnergyAccountant
     void integrate(Channel &ch, double dtSeconds);
 
     sim::Simulator &sim_;
+    /** Telemetry (nullptr unless a registry was installed for the run). */
+    obs::MetricRegistry *metrics_;
     std::vector<Channel> channels_;
     sim::Time lastSync_;
     double totalMj_ = 0.0;

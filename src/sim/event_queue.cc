@@ -25,6 +25,14 @@ EventQueue::schedule(Time when, Callback cb)
     heap_.push_back(HeapEntry{when, seq, index});
     siftUp(heap_.size() - 1);
     ++liveCount_;
+#if defined(LEASEOS_TRACING)
+    slot.when = when;
+    if (trace_ != nullptr)
+        trace_->emitSampled(kTraceSampleMask, when,
+                            obs::TraceCategory::Queue,
+                            obs::TraceCode::QueueSchedule, kSystemUid,
+                            makeId(index, slot.gen), seq);
+#endif
     return makeId(index, slot.gen);
 }
 
@@ -40,6 +48,12 @@ EventQueue::cancel(EventId id)
     slot.live = false;
     slot.cb = nullptr;
     --liveCount_;
+#if defined(LEASEOS_TRACING)
+    if (trace_ != nullptr)
+        trace_->emitSampled(kTraceSampleMask, slot.when,
+                            obs::TraceCategory::Queue,
+                            obs::TraceCode::QueueCancel, kSystemUid, id);
+#endif
     // Cancel-heavy workloads (timer resets, backoffs) would otherwise
     // grow the heap without bound: tombstones only surface through
     // skipDead(). Compact once they dominate.
@@ -138,6 +152,13 @@ EventQueue::pop()
     std::uint32_t index = top.slot;
     auto result = std::make_pair(top.when, std::move(slots_[index].cb));
     --liveCount_;
+#if defined(LEASEOS_TRACING)
+    if (trace_ != nullptr)
+        trace_->emitSampled(kTraceSampleMask, result.first,
+                            obs::TraceCategory::Queue,
+                            obs::TraceCode::QueueFire, kSystemUid,
+                            makeId(index, slots_[index].gen), top.seq);
+#endif
     recycleSlot(index);
     popHeapTop();
     return result;

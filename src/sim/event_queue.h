@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/inline_callback.h"
 #include "sim/time.h"
 
@@ -106,6 +107,9 @@ class EventQueue
         std::uint32_t gen = 0;
         bool live = false;            ///< scheduled, not fired/cancelled
         std::uint32_t nextFree = kNoSlot;
+#if defined(LEASEOS_TRACING)
+        Time when; ///< fire time, kept so cancel trace events carry it
+#endif
         Callback cb;
     };
 
@@ -175,6 +179,16 @@ class EventQueue
     std::uint32_t freeHead_ = kNoSlot; ///< intrusive free-list head
     std::size_t liveCount_ = 0;
     std::uint64_t nextSeq_ = 0;
+
+#if defined(LEASEOS_TRACING)
+    /**
+     * Cached trace sink: the runtime-off mode is this pointer being null,
+     * one predictable branch per queue operation. The queue is the
+     * simulator's firehose, so events are decimated 1-in-64.
+     */
+    static constexpr std::uint32_t kTraceSampleMask = 63;
+    obs::TraceBuffer *trace_ = obs::TraceBuffer::current();
+#endif
 };
 
 } // namespace leaseos::sim

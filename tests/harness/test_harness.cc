@@ -115,8 +115,10 @@ TEST(ExperimentTest, LeaseCellBeatsVanillaOnTorch)
     const auto &spec = apps::buggySpec("torch");
     MitigationRunOptions opt;
     opt.duration = 10_min;
-    auto vanilla = runMitigationCell(spec, MitigationMode::None, opt);
-    auto leased = runMitigationCell(spec, MitigationMode::LeaseOS, opt);
+    auto vanilla =
+        runScenario(mitigationCellSpec(spec, MitigationMode::None, opt));
+    auto leased =
+        runScenario(mitigationCellSpec(spec, MitigationMode::LeaseOS, opt));
     EXPECT_GT(vanilla.appPowerMw, 10.0);
     EXPECT_GT(reductionPercent(vanilla.appPowerMw, leased.appPowerMw),
               80.0);

@@ -103,16 +103,25 @@ TEST(RunScenarioTest, ProbesReportInSpecOrder)
     EXPECT_THROW(r.probe("missing"), std::out_of_range);
 }
 
-TEST(RunScenarioTest, MitigationCellShimMatchesDirectScenario)
+TEST(RunScenarioTest, MitigationCellSpecDescribesTheStandardCell)
 {
     const auto &spec = apps::buggySpec("torch");
     MitigationRunOptions opt;
     opt.duration = 5_min;
-    RunResult viaShim =
-        runMitigationCell(spec, MitigationMode::LeaseOS, opt);
-    RunResult direct = runScenario(
-        mitigationCellSpec(spec, MitigationMode::LeaseOS, opt));
-    EXPECT_EQ(viaShim, direct);
+    RunSpec cell = mitigationCellSpec(spec, MitigationMode::LeaseOS, opt);
+    EXPECT_EQ(cell.name, std::string(spec.display) + " / LeaseOS");
+    EXPECT_EQ(cell.config.mode, MitigationMode::LeaseOS);
+    EXPECT_EQ(cell.config.seed, opt.seed);
+    EXPECT_EQ(cell.duration, opt.duration);
+    ASSERT_EQ(cell.apps.size(), 1u);
+    ASSERT_EQ(cell.setup.size(), 1u);
+    EXPECT_TRUE(cell.userGlances);
+    EXPECT_EQ(cell.glanceInterval, opt.glanceInterval);
+    EXPECT_EQ(cell.glanceLength, opt.glanceLength);
+    // The spec is executable as-is and yields a plausible cell result.
+    RunResult direct = runScenario(cell);
+    EXPECT_EQ(direct.name, cell.name);
+    EXPECT_GT(direct.leasesCreated, 0u);
 }
 
 TEST(ParallelRunnerTest, ResultsIdenticalAcrossJobCounts)

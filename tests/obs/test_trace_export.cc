@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Round-trip tests for the trace exporters: emit a known event sequence,
+ * export, parse the text back, and verify count, order, and field values.
+ * The Chrome exporter's document structure (traceEvents array of instant
+ * events) is validated so the artifact stays loadable in Perfetto.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "sim/time.h"
+
+namespace leaseos::obs {
+namespace {
+
+using sim::Time;
+
+void
+fillSample(TraceBuffer &buf)
+{
+    buf.emit(Time::fromSeconds(1.0), TraceCategory::Lease,
+             TraceCode::LeaseCreated, 10001, 42, 3);
+    buf.emit(Time::fromSeconds(2.5), TraceCategory::Proxy,
+             TraceCode::ProxyDeny, 10002, 43);
+    buf.emit(Time::fromMillis(2600), TraceCategory::Utility,
+             TraceCode::UtilityCharge, 10001, 42,
+             payloadFromDouble(0.75));
+}
+
+/** Pull `"key":<number>` out of a JSON line (no quotes around value). */
+long long
+numField(const std::string &line, const std::string &key)
+{
+    std::size_t at = line.find("\"" + key + "\":");
+    EXPECT_NE(at, std::string::npos) << key << " in " << line;
+    return std::stoll(line.substr(at + key.size() + 3));
+}
+
+/** Pull `"key":"text"` out of a JSON line. */
+std::string
+strField(const std::string &line, const std::string &key)
+{
+    std::size_t at = line.find("\"" + key + "\":\"");
+    EXPECT_NE(at, std::string::npos) << key << " in " << line;
+    std::size_t begin = at + key.size() + 4;
+    return line.substr(begin, line.find('"', begin) - begin);
+}
+
+TEST(TraceExportTest, JsonLinesRoundTrip)
+{
+    TraceBuffer buf(16);
+    fillSample(buf);
+    std::ostringstream os;
+    writeJsonLines(buf, os);
+
+    std::vector<std::string> lines;
+    std::istringstream is(os.str());
+    for (std::string line; std::getline(is, line);) lines.push_back(line);
+    ASSERT_EQ(lines.size(), buf.size());
+
+    // Event 0: fields survive the round trip.
+    EXPECT_EQ(numField(lines[0], "t"), 1'000'000'000LL);
+    EXPECT_EQ(strField(lines[0], "cat"), "lease");
+    EXPECT_EQ(strField(lines[0], "ev"), "lease_created");
+    EXPECT_EQ(numField(lines[0], "uid"), 10001);
+    EXPECT_EQ(numField(lines[0], "lease"), 42);
+    EXPECT_EQ(numField(lines[0], "payload"), 3);
+
+    // Order is oldest-first and categories/codes match the emit sequence.
+    EXPECT_EQ(strField(lines[1], "ev"), "deny");
+    EXPECT_EQ(strField(lines[2], "ev"), "utility_charge");
+    EXPECT_DOUBLE_EQ(
+        payloadToDouble(static_cast<std::uint64_t>(
+            numField(lines[2], "payload"))),
+        0.75);
+}
+
+TEST(TraceExportTest, ChromeTraceDocumentShape)
+{
+    TraceBuffer buf(16);
+    fillSample(buf);
+    std::ostringstream os;
+    writeChromeTrace(buf, os);
+    std::string doc = os.str();
+
+    // Document wrapper.
+    EXPECT_EQ(doc.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(doc.find("],\"displayTimeUnit\":\"ms\"}"), std::string::npos);
+
+    // One instant event per retained trace event.
+    std::size_t count = 0;
+    for (std::size_t at = doc.find("\"ph\":\"i\""); at != std::string::npos;
+         at = doc.find("\"ph\":\"i\"", at + 1))
+        ++count;
+    EXPECT_EQ(count, buf.size());
+
+    // ts is microseconds: 1 s → 1000000.000, tid is the uid.
+    EXPECT_NE(doc.find("\"ts\":1000000.000"), std::string::npos);
+    EXPECT_NE(doc.find("\"tid\":10001"), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"lease_created\""), std::string::npos);
+    EXPECT_NE(doc.find("\"cat\":\"lease\""), std::string::npos);
+    EXPECT_NE(doc.find("\"args\":{\"lease\":42,\"payload\":3}"),
+              std::string::npos);
+}
+
+TEST(TraceExportTest, FileExtensionSelectsFormat)
+{
+    TraceBuffer buf(16);
+    fillSample(buf);
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "leaseos_trace_test";
+    std::filesystem::create_directories(dir);
+
+    std::string jsonl = (dir / "t.jsonl").string();
+    std::string chrome = (dir / "t.json").string();
+    ASSERT_TRUE(writeTraceFile(buf, jsonl));
+    ASSERT_TRUE(writeTraceFile(buf, chrome));
+
+    auto slurp = [](const std::string &p) {
+        std::ifstream in(p);
+        std::ostringstream os;
+        os << in.rdbuf();
+        return os.str();
+    };
+    EXPECT_EQ(slurp(jsonl).rfind("{\"t\":", 0), 0u);
+    EXPECT_EQ(slurp(chrome).rfind("{\"traceEvents\":[", 0), 0u);
+
+    EXPECT_FALSE(writeTraceFile(buf, (dir / "no/such/dir/t.jsonl")
+                                         .string()));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceExportTest, EmptyBufferExportsEmptyDocuments)
+{
+    TraceBuffer buf(4);
+    std::ostringstream jsonl;
+    writeJsonLines(buf, jsonl);
+    EXPECT_TRUE(jsonl.str().empty());
+
+    std::ostringstream chrome;
+    writeChromeTrace(buf, chrome);
+    EXPECT_EQ(chrome.str(),
+              "{\"traceEvents\":[\n\n],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+} // namespace
+} // namespace leaseos::obs

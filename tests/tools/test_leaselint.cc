@@ -12,6 +12,7 @@
 
 #include "leaselint/driver.h"
 #include "leaselint/rules.h"
+#include "leaselint/sarif.h"
 #include "leaselint/source.h"
 
 namespace leaselint {
@@ -337,6 +338,56 @@ TEST(Driver, FindingsAreSortedAndFormatted)
     EXPECT_EQ(report.filesScanned, 2u);
     std::string line = formatFinding(report.findings[0]);
     EXPECT_EQ(line.rfind("src/a.cc:1: [determinism]", 0), 0u);
+}
+
+// ---- SARIF export -----------------------------------------------------------
+
+TEST(Sarif, ReportCarriesVersionRulesAndResults)
+{
+    std::vector<SourceFile> files;
+    files.push_back(
+        SourceFile::fromString("src/sim/bad.cc", "int r = rand();\n"));
+    LintReport report = runLint(files, only(makeDeterminismRule()));
+    ASSERT_EQ(report.findings.size(), 1u);
+
+    std::string doc = sarifReport(report);
+    // Top-level SARIF 2.1.0 shape.
+    EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(doc.find("\"runs\": ["), std::string::npos);
+    EXPECT_NE(doc.find("\"name\": \"leaselint\""), std::string::npos);
+    // Every built-in rule is listed in tool.driver.rules.
+    for (const auto &rule : makeAllRules())
+        EXPECT_NE(doc.find("\"id\": \"" + std::string(rule->name()) +
+                           "\""),
+                  std::string::npos)
+            << rule->name();
+    // The finding maps to a result with ruleId, level, and location.
+    EXPECT_NE(doc.find("\"ruleId\": \"determinism\""), std::string::npos);
+    EXPECT_NE(doc.find("\"level\": \"error\""), std::string::npos);
+    EXPECT_NE(doc.find("\"uri\": \"src/sim/bad.cc\""), std::string::npos);
+    EXPECT_NE(doc.find("\"startLine\": 1"), std::string::npos);
+}
+
+TEST(Sarif, EmptyReportHasEmptyResults)
+{
+    LintReport report;
+    std::string doc = sarifReport(report);
+    EXPECT_NE(doc.find("\"results\": [\n      ]"), std::string::npos);
+}
+
+TEST(Sarif, MessagesAreJsonEscaped)
+{
+    LintReport report;
+    Finding f;
+    f.rule = "determinism";
+    f.path = "src/a.cc";
+    f.line = 3;
+    f.message = "bad \"quote\"\nand newline";
+    report.findings.push_back(f);
+    std::string doc = sarifReport(report);
+    EXPECT_NE(doc.find("bad \\\"quote\\\"\\nand newline"),
+              std::string::npos);
+    EXPECT_EQ(doc.find("\nand newline"), std::string::npos);
 }
 
 TEST(Driver, WholeRepoIsCleanWithJustifiedSuppressions)

@@ -3,12 +3,15 @@
  * leaselint — protocol lint for the LeaseOS reproduction.
  *
  * Usage:
- *   leaselint [--root DIR] [--rule NAME]... [--list-rules] [PATH...]
+ *   leaselint [--root DIR] [--rule NAME]... [--sarif OUT] [--list-rules]
+ *             [PATH...]
  *
  * PATHs are root-relative files or directories (default: src bench
  * examples tools tests). Exits 1 when any unsuppressed finding remains,
  * so CI can gate on it. Suppress a finding in place with
- * `// leaselint: allow(<rule>) -- justification`.
+ * `// leaselint: allow(<rule>) -- justification`. `--sarif OUT` also
+ * writes the findings as a SARIF 2.1.0 document for GitHub code-scanning
+ * upload.
  */
 
 #include <cstring>
@@ -17,11 +20,13 @@
 
 #include "leaselint/driver.h"
 #include "leaselint/rules.h"
+#include "leaselint/sarif.h"
 
 int
 main(int argc, char **argv)
 {
     leaselint::LintOptions options;
+    std::string sarifPath;
     bool defaultPaths = true;
 
     for (int i = 1; i < argc; ++i) {
@@ -30,6 +35,8 @@ main(int argc, char **argv)
             options.root = argv[++i];
         } else if (arg == "--rule" && i + 1 < argc) {
             options.rules.push_back(argv[++i]);
+        } else if (arg == "--sarif" && i + 1 < argc) {
+            sarifPath = argv[++i];
         } else if (arg == "--list-rules") {
             for (const auto &rule : leaselint::makeAllRules())
                 std::cout << rule->name() << ": " << rule->description()
@@ -37,7 +44,7 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: leaselint [--root DIR] [--rule NAME]... "
-                         "[--list-rules] [PATH...]\n";
+                         "[--sarif OUT] [--list-rules] [PATH...]\n";
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "leaselint: unknown option " << arg << "\n";
@@ -54,6 +61,10 @@ main(int argc, char **argv)
     leaselint::LintReport report = leaselint::runLint(options);
     for (const auto &finding : report.findings)
         std::cout << leaselint::formatFinding(finding) << "\n";
+    if (!sarifPath.empty() && !leaselint::writeSarif(report, sarifPath)) {
+        std::cerr << "leaselint: cannot write " << sarifPath << "\n";
+        return 2;
+    }
     std::cerr << "leaselint: " << report.filesScanned << " files, "
               << report.findings.size() << " finding(s), "
               << report.suppressed << " suppressed\n";

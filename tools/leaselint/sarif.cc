@@ -1,0 +1,97 @@
+#include "leaselint/sarif.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "leaselint/rules.h"
+
+namespace leaselint {
+
+namespace {
+
+/** JSON string escaping (local: leaselint has no dependency on leaseos). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+sarifReport(const LintReport &report)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json"
+          "\",\n";
+    os << "  \"version\": \"2.1.0\",\n";
+    os << "  \"runs\": [\n";
+    os << "    {\n";
+    os << "      \"tool\": {\n";
+    os << "        \"driver\": {\n";
+    os << "          \"name\": \"leaselint\",\n";
+    os << "          \"informationUri\": "
+          "\"https://example.invalid/leaselint\",\n";
+    os << "          \"rules\": [\n";
+    auto rules = makeAllRules();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        os << "            {\"id\": \"" << jsonEscape(rules[i]->name())
+           << "\", \"shortDescription\": {\"text\": \""
+           << jsonEscape(rules[i]->description()) << "\"}}"
+           << (i + 1 < rules.size() ? "," : "") << "\n";
+    }
+    os << "          ]\n";
+    os << "        }\n";
+    os << "      },\n";
+    os << "      \"results\": [\n";
+    const auto &findings = report.findings;
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        os << "        {\"ruleId\": \"" << jsonEscape(f.rule)
+           << "\", \"level\": \"error\", \"message\": {\"text\": \""
+           << jsonEscape(f.message)
+           << "\"}, \"locations\": [{\"physicalLocation\": "
+              "{\"artifactLocation\": {\"uri\": \""
+           << jsonEscape(f.path) << "\"}, \"region\": {\"startLine\": "
+           << (f.line > 0 ? f.line : 1) << "}}}]}"
+           << (i + 1 < findings.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n";
+    os << "    }\n";
+    os << "  ]\n";
+    os << "}\n";
+    return os.str();
+}
+
+bool
+writeSarif(const LintReport &report, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) return false;
+    out << sarifReport(report);
+    return static_cast<bool>(out);
+}
+
+} // namespace leaselint

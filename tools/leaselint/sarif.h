@@ -1,0 +1,31 @@
+#ifndef LEASELINT_SARIF_H
+#define LEASELINT_SARIF_H
+
+/**
+ * @file
+ * SARIF 2.1.0 export for lint findings, so CI can upload leaselint runs
+ * as GitHub code-scanning annotations (codeql-action/upload-sarif).
+ *
+ * The document is minimal but spec-conformant: one run, a tool.driver
+ * carrying every built-in rule's id/description, and one result per
+ * finding with a physicalLocation (root-relative uri + startLine).
+ */
+
+#include <string>
+
+#include "leaselint/driver.h"
+
+namespace leaselint {
+
+/** Serialise @p report as a SARIF 2.1.0 JSON document. */
+std::string sarifReport(const LintReport &report);
+
+/**
+ * Write sarifReport(@p report) to @p path.
+ * @retval false when the file cannot be opened.
+ */
+bool writeSarif(const LintReport &report, const std::string &path);
+
+} // namespace leaselint
+
+#endif // LEASELINT_SARIF_H

@@ -31,7 +31,7 @@ class BeaconScanner : public app::App, private os::ScanListener
         // The user checks their keys, then leaves; stopScan is never
         // called on this path (the defect).
         ctx_.activityManager().activityStarted(uid());
-        // leaselint: allow(pairing) -- modelled defect: scan leaks by design
+        // leaselint: allow(cross-unit-pairing) -- modelled defect: scan leaks by design
         scan_ = ctx_.bluetoothService().startScan(uid(), this);
         // The user closing the app is an external event — it must not
         // depend on the app process being runnable.

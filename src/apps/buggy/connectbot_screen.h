@@ -31,7 +31,7 @@ class ConnectBotScreen : public app::App
             uid(), os::WakeLockType::Full, "ConnectBot:console");
         // Session opens in the foreground for a short while...
         ctx_.activityManager().activityStarted(uid());
-        // leaselint: allow(pairing) -- modelled defect: full lock never freed
+        // leaselint: allow(cross-unit-pairing) -- modelled defect: full lock never freed
         ctx_.powerManager().acquire(lock_);
         process_.post(sim::Time::fromSeconds(20.0), [this] {
             // ...then the user navigates away; the Activity stops but the

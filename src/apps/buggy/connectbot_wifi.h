@@ -28,7 +28,7 @@ class ConnectBotWifi : public app::App
     start() override
     {
         lock_ = ctx_.wifiManager().createWifiLock(uid(), "ConnectBot");
-        // leaselint: allow(pairing) -- modelled defect: wifi lock leaks
+        // leaselint: allow(cross-unit-pairing) -- modelled defect: wifi lock leaks
         ctx_.wifiManager().acquire(lock_); // active network is cellular!
         keepSession();
     }

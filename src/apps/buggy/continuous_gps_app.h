@@ -48,7 +48,7 @@ class ContinuousGpsApp : public app::App, protected os::LocationListener
         if (params_.holdWakelock) {
             lock_ = ctx_.powerManager().newWakeLock(
                 uid(), os::WakeLockType::Partial, name() + ":track");
-            // leaselint: allow(pairing) -- modelled defect: held for the run
+            // leaselint: allow(cross-unit-pairing) -- modelled defect: held for the run
             ctx_.powerManager().acquire(lock_);
         }
         request_ = ctx_.locationManager().requestLocationUpdates(

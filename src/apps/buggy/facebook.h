@@ -28,7 +28,7 @@ class Facebook : public app::App
     {
         lock_ = ctx_.powerManager().newWakeLock(
             uid(), os::WakeLockType::Partial, "fb:session");
-        // leaselint: allow(pairing) -- modelled defect: never released
+        // leaselint: allow(cross-unit-pairing) -- modelled defect: never released
         ctx_.powerManager().acquire(lock_);
         poll();
     }

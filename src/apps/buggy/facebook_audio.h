@@ -28,7 +28,7 @@ class FacebookAudio : public app::App
     start() override
     {
         // The user watches a 30-second video with sound...
-        // leaselint: allow(pairing) -- modelled defect: session never closed
+        // leaselint: allow(cross-unit-pairing) -- modelled defect: session never closed
         session_ = ctx_.audioSessions().openSession(uid());
         ctx_.audioSessions().startPlayback(session_);
         ctx_.activityManager().activityStarted(uid());

@@ -28,7 +28,7 @@ class Riot : public app::App, private os::SensorEventListener
     {
         // Left open: the chat Activity stays alive.
         ctx_.activityManager().activityStarted(uid());
-        // leaselint: allow(pairing) -- modelled defect: listener leaks
+        // leaselint: allow(cross-unit-pairing) -- modelled defect: listener leaks
         sensor_ = ctx_.sensorManager().registerListener(
             uid(), power::SensorType::Accelerometer,
             sim::Time::fromMillis(500), this);

@@ -28,7 +28,7 @@ class ServalMesh : public app::App
     {
         lock_ = ctx_.powerManager().newWakeLock(
             uid(), os::WakeLockType::Partial, "serval:mesh");
-        // leaselint: allow(pairing) -- modelled defect: mesh lock leaks
+        // leaselint: allow(cross-unit-pairing) -- modelled defect: mesh lock leaks
         ctx_.powerManager().acquire(lock_);
         scan();
     }

@@ -30,7 +30,7 @@ class StandupTimer : public app::App
         lock_ = ctx_.powerManager().newWakeLock(
             uid(), os::WakeLockType::Full, "standup:timer");
         ctx_.activityManager().activityStarted(uid());
-        // leaselint: allow(pairing) -- modelled defect: onPause skips release
+        // leaselint: allow(cross-unit-pairing) -- modelled defect: onPause skips release
         ctx_.powerManager().acquire(lock_); // onResume
         // The stand-up wraps up; the user hits home. onPause runs but the
         // buggy version has no release there, so the panel stays forced.

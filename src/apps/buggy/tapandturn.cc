@@ -21,7 +21,7 @@ TapAndTurn::start()
         ctx_.leaseManager->setUtility(uid(), lease::ResourceType::Sensor,
                                       this);
     }
-    // leaselint: allow(pairing) -- modelled defect: listener leaks
+    // leaselint: allow(cross-unit-pairing) -- modelled defect: listener leaks
     sensor_ = ctx_.sensorManager().registerListener(
         uid(), power::SensorType::Orientation, 1_s, this);
 }

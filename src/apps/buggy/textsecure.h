@@ -29,7 +29,7 @@ class TextSecure : public app::App
     {
         lock_ = ctx_.powerManager().newWakeLock(
             uid(), os::WakeLockType::Partial, "TextSecure:push");
-        // leaselint: allow(pairing) -- modelled defect: push lock leaks
+        // leaselint: allow(cross-unit-pairing) -- modelled defect: push lock leaks
         ctx_.powerManager().acquire(lock_);
         reconnect();
     }

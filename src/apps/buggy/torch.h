@@ -30,7 +30,7 @@ class Torch : public app::App
             uid(), os::WakeLockType::Partial, "torch:FlashDevice");
         // The user toggles the light on and quickly off again; the buggy
         // guard skips the matching release.
-        // leaselint: allow(pairing) -- modelled defect: release guard bug
+        // leaselint: allow(cross-unit-pairing) -- modelled defect: release guard bug
         ctx_.powerManager().acquire(lock_);
         process_.post(sim::Time::fromSeconds(10.0), [this] {
             flashlightOff();

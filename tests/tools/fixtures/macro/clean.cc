@@ -1,0 +1,17 @@
+// Fixture: macro arguments that must NOT trip macro-side-effect:
+// pure reads, comparisons (==, <=, !=), member access through ->, and
+// [=] lambda captures.
+
+namespace fix {
+
+void
+Emitter::record()
+{
+    count_++; // mutation OUTSIDE the macro: fine
+    LEASEOS_TRACE(emit(now(), count_));
+    LEASEOS_ORACLE(checkInvariant(ptr->value == expected));
+    LEASEOS_ORACLE(checkInvariant(low <= x && x != high));
+    LEASEOS_TRACE(emitWith([=] { return count_; }));
+}
+
+} // namespace fix

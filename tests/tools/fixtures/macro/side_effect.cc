@@ -1,0 +1,14 @@
+// Fixture: mutating expressions inside LEASEOS_TRACE / LEASEOS_ORACLE
+// arguments. Both macros compile out in default builds, so these
+// mutations only happen in instrumented builds — two findings.
+
+namespace fix {
+
+void
+Emitter::record()
+{
+    LEASEOS_TRACE(emit(now(), count_++));
+    LEASEOS_ORACLE(checkInvariant(state_ = recompute()));
+}
+
+} // namespace fix

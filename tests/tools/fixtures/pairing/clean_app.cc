@@ -1,0 +1,23 @@
+// Fixture: clean acquire/release chain across translation units. The
+// release happens inside teardownLocks(), defined in clean_helper.cc —
+// a file-local pairing rule would call this a leak; the cross-unit rule
+// must not. Loaded by test_leaselint with display path
+// src/apps/fix/clean_app.cc.
+
+namespace fix {
+
+void
+CleanApp::start()
+{
+    lock_.acquire();
+    running_ = true;
+}
+
+void
+CleanApp::stop()
+{
+    teardownLocks(lock_); // defined in clean_helper.cc
+    running_ = false;
+}
+
+} // namespace fix

@@ -1,0 +1,15 @@
+// Fixture: the release-via-helper half of the clean chain. This unit
+// releases but never acquires; because teardownLocks() is called from
+// another unit (clean_app.cc), the shared-helper exemption applies and
+// no double-release finding may fire here. Display path
+// src/apps/fix/clean_helper.cc.
+
+namespace fix {
+
+void
+teardownLocks(WakeLock &lock)
+{
+    lock.release();
+}
+
+} // namespace fix

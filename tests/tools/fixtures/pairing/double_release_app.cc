@@ -1,0 +1,16 @@
+// Fixture: releases with no acquire anywhere in the unit's reach — a
+// double release (or releasing a resource owned elsewhere). Nothing
+// calls these functions from other units, so the shared-helper
+// exemption must NOT apply. Display path
+// src/apps/fix/double_release_app.cc.
+
+namespace fix {
+
+void
+DoubleReleaseApp::stop()
+{
+    lock_.release();
+    lock_.release(); // second release of the same lock
+}
+
+} // namespace fix

@@ -1,0 +1,24 @@
+// Fixture: acquire whose "cleanup" helper forgot the release — a leak
+// the cross-unit rule must still flag even though a helper call is in
+// the stop path. Display path src/apps/fix/leak_app.cc.
+
+namespace fix {
+
+void
+LeakApp::start()
+{
+    lock_.acquire();
+}
+
+void
+LeakApp::stop()
+{
+    cleanupNothing(); // forgets lock_.release()
+}
+
+void
+cleanupNothing()
+{
+}
+
+} // namespace fix

@@ -1,0 +1,17 @@
+// Fixture: ordered containers that must NOT trip ptr-ordered-iteration:
+// pointer as the VALUE is fine (order comes from the key), and non-
+// pointer keys are fine. Display path src/lease/fix/negative.cc.
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace fix {
+
+struct Lease;
+
+std::map<int, Lease *> byId;          // pointer value, int key: ok
+std::set<std::string> names;          // ok
+std::map<std::string, int> counters;  // ok
+
+} // namespace fix

@@ -1,0 +1,15 @@
+// Fixture: ordered containers keyed on raw pointers — iteration order
+// follows allocation addresses. Display path src/lease/fix/positive.cc
+// (the rule only fires under src/).
+
+#include <map>
+#include <set>
+
+namespace fix {
+
+struct Lease;
+
+std::map<Lease *, int> holdCounts;     // flagged
+std::set<const Lease *> activeLeases;  // flagged
+
+} // namespace fix

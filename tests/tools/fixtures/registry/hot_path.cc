@@ -1,0 +1,13 @@
+// Fixture: MetricRegistry registration in a function with no observed
+// callers — assumed reachable from hot paths, must be flagged. Display
+// path src/obs/fix/hot_path.cc (the rule only audits src/).
+
+namespace fix {
+
+void
+Poller::poll()
+{
+    metrics_->counter("poll.count"); // registers on every poll: flagged
+}
+
+} // namespace fix

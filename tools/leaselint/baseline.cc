@@ -1,0 +1,71 @@
+#include "leaselint/baseline.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace leaselint {
+
+std::string
+baselineKey(const Finding &finding)
+{
+    return finding.rule + "\t" + finding.path + "\t" + finding.message;
+}
+
+std::vector<std::string>
+parseBaseline(const std::string &text)
+{
+    std::vector<std::string> keys;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        std::size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#') continue;
+        keys.push_back(line);
+    }
+    return keys;
+}
+
+std::string
+renderBaseline(const std::vector<Finding> &findings)
+{
+    std::vector<std::string> keys;
+    keys.reserve(findings.size());
+    for (const Finding &finding : findings)
+        keys.push_back(baselineKey(finding));
+    std::sort(keys.begin(), keys.end());
+
+    std::ostringstream os;
+    os << "# leaselint baseline — accepted findings (rule<TAB>path<TAB>"
+          "message).\n"
+       << "# Regenerate with: leaselint --root . --write-baseline "
+          "tools/leaselint/baseline.lint\n";
+    for (const std::string &key : keys) os << key << '\n';
+    return os.str();
+}
+
+std::size_t
+applyBaseline(std::vector<Finding> &findings,
+              const std::vector<std::string> &baseline)
+{
+    std::map<std::string, std::size_t> budget;
+    for (const std::string &key : baseline) ++budget[key];
+
+    std::size_t matched = 0;
+    std::vector<Finding> kept;
+    kept.reserve(findings.size());
+    for (Finding &finding : findings) {
+        auto it = budget.find(baselineKey(finding));
+        if (it != budget.end() && it->second > 0) {
+            --it->second;
+            ++matched;
+        } else {
+            kept.push_back(std::move(finding));
+        }
+    }
+    findings = std::move(kept);
+    return matched;
+}
+
+} // namespace leaselint

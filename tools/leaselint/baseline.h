@@ -1,0 +1,47 @@
+#ifndef LEASELINT_BASELINE_H
+#define LEASELINT_BASELINE_H
+
+/**
+ * @file
+ * Finding baselines: a committed snapshot of the findings a tree is
+ * allowed to carry, so CI on a pull request can gate on *new* findings
+ * only (`--diff-baseline`) while main still sees the full report.
+ *
+ * A baseline line is the finding's stable key — rule, path, and message
+ * joined by tabs, with the line number deliberately left out so an
+ * unrelated edit shifting code downward does not invalidate the
+ * baseline. Matching is multiset subtraction: a baseline entry absorbs
+ * at most one live finding, so a second instance of a baselined finding
+ * still fails the gate.
+ */
+
+#include <string>
+#include <vector>
+
+#include "leaselint/rule.h"
+
+namespace leaselint {
+
+/** Stable identity of @p finding: "rule\tpath\tmessage". */
+std::string baselineKey(const Finding &finding);
+
+/**
+ * Parse baseline @p text (one key per line; '#' comments and blank
+ * lines ignored) into keys.
+ */
+std::vector<std::string> parseBaseline(const std::string &text);
+
+/** Render @p findings as a baseline document (sorted, commented). */
+std::string renderBaseline(const std::vector<Finding> &findings);
+
+/**
+ * Remove from @p findings every one matched by a @p baseline entry
+ * (each entry absorbs at most one finding).
+ * @return the number of findings absorbed.
+ */
+std::size_t applyBaseline(std::vector<Finding> &findings,
+                          const std::vector<std::string> &baseline);
+
+} // namespace leaselint
+
+#endif // LEASELINT_BASELINE_H

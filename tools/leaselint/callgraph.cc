@@ -1,0 +1,165 @@
+#include "leaselint/callgraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace leaselint {
+
+std::string
+unitStem(const std::string &path)
+{
+    std::size_t slash = path.rfind('/');
+    std::size_t dot = path.rfind('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path;
+    return path.substr(0, dot);
+}
+
+std::string
+CallGraph::unqualified(const std::string &name)
+{
+    std::size_t at = name.rfind("::");
+    return at == std::string::npos ? name : name.substr(at + 2);
+}
+
+bool
+CallGraph::isStructorName(const std::string &qualifiedName)
+{
+    std::size_t at = qualifiedName.rfind("::");
+    if (at == std::string::npos) return false;
+    std::string last = qualifiedName.substr(at + 2);
+    std::string prevScope = qualifiedName.substr(0, at);
+    std::size_t prevAt = prevScope.rfind("::");
+    std::string prev = prevAt == std::string::npos
+                           ? prevScope
+                           : prevScope.substr(prevAt + 2);
+    return last == prev || last == "~" + prev;
+}
+
+CallGraph::CallGraph(const RepoIndex &repo) : repo_(&repo)
+{
+    // Flatten every FuncDef into the global id space.
+    fileBase_.reserve(repo.files.size());
+    units_.reserve(repo.files.size());
+    for (std::uint32_t fi = 0; fi < repo.files.size(); ++fi) {
+        const FileIndex &file = repo.files[fi];
+        fileBase_.push_back(static_cast<std::uint32_t>(defs_.size()));
+        units_.push_back(unitStem(file.path));
+        for (const FuncDef &def : file.funcs) {
+            defs_.push_back(&def);
+            fileOf_.push_back(fi);
+        }
+    }
+    callees_.assign(defs_.size(), {});
+    callers_.assign(defs_.size(), {});
+
+    // Definitions by unqualified name, for resolution.
+    std::unordered_map<std::string, std::vector<FuncId>> byName;
+    for (FuncId id = 0; id < defs_.size(); ++id)
+        byName[unqualified(defs_[id]->name)].push_back(id);
+
+    auto resolve = [&](std::uint32_t callerFile,
+                       const std::string &callee) -> FuncId {
+        auto it = byName.find(callee);
+        if (it == byName.end()) return kInvalidFunc;
+        const std::vector<FuncId> &cands = it->second;
+
+        // 1. Same file wins.
+        FuncId hit = kInvalidFunc;
+        for (FuncId id : cands) {
+            if (fileOf_[id] != callerFile) continue;
+            if (hit != kInvalidFunc) return kInvalidFunc; // ambiguous
+            hit = id;
+        }
+        if (hit != kInvalidFunc) return hit;
+
+        // 2. Same unit (.h/.cc pair) wins.
+        const std::string &unit = units_[callerFile];
+        for (FuncId id : cands) {
+            if (units_[fileOf_[id]] != unit) continue;
+            if (hit != kInvalidFunc) return kInvalidFunc;
+            hit = id;
+        }
+        if (hit != kInvalidFunc) return hit;
+
+        // 3. Repo-wide only when unique.
+        return cands.size() == 1 ? cands[0] : kInvalidFunc;
+    };
+
+    for (std::uint32_t fi = 0; fi < repo.files.size(); ++fi) {
+        const FileIndex &file = repo.files[fi];
+        for (const CallSite &call : file.calls) {
+            if (call.func == kNoFunc) continue;
+            FuncId from = funcId(fi, call.func);
+            FuncId to = resolve(fi, call.callee);
+            if (to == kInvalidFunc || to == from) continue;
+            auto &outEdges = callees_[from];
+            if (std::find(outEdges.begin(), outEdges.end(), to) !=
+                outEdges.end())
+                continue;
+            outEdges.push_back(to);
+            callers_[to].push_back(from);
+        }
+    }
+}
+
+const FuncDef &
+CallGraph::def(FuncId id) const
+{
+    return *defs_[id];
+}
+
+const std::string &
+CallGraph::unitOf(FuncId id) const
+{
+    return units_[fileOf_[id]];
+}
+
+FuncId
+CallGraph::funcId(std::uint32_t fileIdx, std::uint32_t funcIdx) const
+{
+    return fileBase_[fileIdx] + funcIdx;
+}
+
+const std::vector<FuncId> &
+CallGraph::callees(FuncId id) const
+{
+    return callees_[id];
+}
+
+const std::vector<FuncId> &
+CallGraph::callers(FuncId id) const
+{
+    return callers_[id];
+}
+
+std::vector<FuncId>
+CallGraph::reachableFrom(const std::vector<FuncId> &roots,
+                         std::size_t maxDepth) const
+{
+    std::vector<FuncId> out;
+    std::vector<char> seen(defs_.size(), 0);
+    std::deque<std::pair<FuncId, std::size_t>> queue;
+    for (FuncId root : roots) {
+        if (root >= defs_.size() || seen[root]) continue;
+        seen[root] = 1;
+        queue.emplace_back(root, 0);
+        out.push_back(root);
+    }
+    while (!queue.empty()) {
+        auto [id, depth] = queue.front();
+        queue.pop_front();
+        if (depth >= maxDepth) continue;
+        for (FuncId next : callees_[id]) {
+            if (seen[next]) continue;
+            seen[next] = 1;
+            queue.emplace_back(next, depth + 1);
+            out.push_back(next);
+        }
+    }
+    return out;
+}
+
+} // namespace leaselint

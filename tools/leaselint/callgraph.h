@@ -1,0 +1,90 @@
+#ifndef LEASELINT_CALLGRAPH_H
+#define LEASELINT_CALLGRAPH_H
+
+/**
+ * @file
+ * Pass 2 of the two-pass engine: linking per-file indexes into a
+ * whole-repo view.
+ *
+ * RepoIndex is just the bag of FileIndexes; CallGraph flattens every
+ * FuncDef into a global FuncId space and resolves every CallSite to
+ * candidate definitions by the callee's unqualified name. Resolution is
+ * deliberately conservative (this is a linter, not a compiler):
+ *
+ *  1. definitions in the same file win;
+ *  2. else definitions in the same unit (path stem, i.e. the .h/.cc
+ *     pair) win;
+ *  3. else a repo-wide match is accepted only when it is unique —
+ *     an ambiguous name (every app has a `start()`) stays unresolved
+ *     rather than fusing unrelated apps into one call graph.
+ *
+ * Reachability queries are bounded-depth BFS over the resolved edges.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "leaselint/index.h"
+
+namespace leaselint {
+
+struct RepoIndex {
+    std::vector<FileIndex> files;
+};
+
+/** "src/apps/buggy/torch.h" -> "src/apps/buggy/torch". */
+std::string unitStem(const std::string &path);
+
+using FuncId = std::uint32_t;
+inline constexpr FuncId kInvalidFunc = 0xffffffffu;
+
+class CallGraph
+{
+  public:
+    explicit CallGraph(const RepoIndex &repo);
+
+    std::size_t funcCount() const { return defs_.size(); }
+
+    const FuncDef &def(FuncId id) const;
+    /** Index of the file defining @p id, into RepoIndex::files. */
+    std::uint32_t fileOf(FuncId id) const { return fileOf_[id]; }
+    /** Unit stem of the defining file. */
+    const std::string &unitOf(FuncId id) const;
+
+    /** Global id of funcs[funcIdx] in files[fileIdx]. */
+    FuncId funcId(std::uint32_t fileIdx, std::uint32_t funcIdx) const;
+
+    /** Resolved callees of @p id (deduplicated, in call order). */
+    const std::vector<FuncId> &callees(FuncId id) const;
+    /** Resolved callers of @p id. */
+    const std::vector<FuncId> &callers(FuncId id) const;
+
+    /**
+     * Last component of the qualified name ("Torch::start" -> "start").
+     */
+    static std::string unqualified(const std::string &name);
+
+    /** True when @p id is a constructor or destructor ("X::X", "X::~X"). */
+    static bool isStructorName(const std::string &qualifiedName);
+
+    /**
+     * Every function reachable from @p roots (inclusive) following
+     * callee edges, to at most @p maxDepth hops.
+     */
+    std::vector<FuncId> reachableFrom(const std::vector<FuncId> &roots,
+                                      std::size_t maxDepth = 8) const;
+
+  private:
+    const RepoIndex *repo_;
+    std::vector<const FuncDef *> defs_;
+    std::vector<std::uint32_t> fileOf_;
+    std::vector<std::uint32_t> fileBase_; ///< first FuncId per file
+    std::vector<std::string> units_;      ///< unit stem per file
+    std::vector<std::vector<FuncId>> callees_;
+    std::vector<std::vector<FuncId>> callers_;
+};
+
+} // namespace leaselint
+
+#endif // LEASELINT_CALLGRAPH_H

@@ -1,8 +1,18 @@
 #include "leaselint/driver.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
 
+#include "leaselint/baseline.h"
+#include "leaselint/callgraph.h"
 #include "leaselint/rules.h"
 
 namespace leaselint {
@@ -16,6 +26,18 @@ lintableExtension(const fs::path &p)
 {
     const std::string ext = p.extension().string();
     return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+/**
+ * Lint test fixture corpora (tests/tools/fixtures/) are lint test DATA —
+ * deliberately defective sources the unit tests load under src/-style
+ * display paths — not lintable code. The build excludes them from the
+ * test glob for the same reason.
+ */
+bool
+isFixturePath(const std::string &rel)
+{
+    return rel.find("/fixtures/") != std::string::npos;
 }
 
 /** Collect lintable files under root/rel (or the single file itself). */
@@ -34,38 +56,75 @@ collect(const fs::path &root, const std::string &rel,
          it != end && !ec; it.increment(ec)) {
         if (!it->is_regular_file(ec) || !lintableExtension(it->path()))
             continue;
-        out.emplace_back(
-            fs::relative(it->path(), root, ec).generic_string(),
-            it->path());
+        std::string relPath =
+            fs::relative(it->path(), root, ec).generic_string();
+        if (isFixturePath(relPath)) continue;
+        out.emplace_back(std::move(relPath), it->path());
     }
 }
 
-} // namespace
-
-LintReport
-runLint(const std::vector<SourceFile> &files,
-        std::vector<std::unique_ptr<Rule>> rules)
+std::optional<std::string>
+readFile(const fs::path &p)
 {
-    LintReport report;
-    report.filesScanned = files.size();
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
 
-    for (auto &rule : rules)
-        for (const SourceFile &file : files) rule->scan(file);
+/** Cache entry path for a source path: FNV of the path, hex, ".idx". */
+fs::path
+cacheEntryPath(const fs::path &cacheDir, const std::string &relPath)
+{
+    char name[32];
+    std::snprintf(name, sizeof name, "%016llx.idx",
+                  static_cast<unsigned long long>(hashContent(relPath)));
+    return cacheDir / name;
+}
+
+bool
+ruleEnabled(const std::vector<std::string> &rules, const char *name)
+{
+    return rules.empty() ||
+           std::find(rules.begin(), rules.end(), name) != rules.end();
+}
+
+/**
+ * Pass 2 plus reporting: link the indexes, run the whole-repo rules,
+ * filter suppressions, sort. Fills findings/suppressed/linkMillis.
+ */
+void
+linkAndReport(RepoIndex &&repo, const std::vector<std::string> &rules,
+              LintReport &report)
+{
+    auto start = std::chrono::steady_clock::now();
 
     std::vector<Finding> raw;
-    for (auto &rule : rules) {
-        for (const SourceFile &file : files) rule->check(file, raw);
-        rule->finalize(raw);
+    for (const FileIndex &file : repo.files)
+        for (const Finding &finding : file.findings)
+            if (ruleEnabled(rules, finding.rule.c_str()))
+                raw.push_back(finding);
+
+    bool needGraph = ruleEnabled(rules, "cross-unit-pairing") ||
+                     ruleEnabled(rules, "registry-contract");
+    if (needGraph) {
+        CallGraph graph(repo);
+        if (ruleEnabled(rules, "cross-unit-pairing"))
+            linkCrossUnitPairing(repo, graph, raw);
+        if (ruleEnabled(rules, "registry-contract"))
+            linkRegistryContract(repo, graph, raw);
     }
+    if (ruleEnabled(rules, "switch-exhaustive"))
+        linkSwitchExhaustive(repo, raw);
 
     // Central suppression filtering against the allow() maps.
+    std::unordered_map<std::string, const FileIndex *> byPath;
+    for (const FileIndex &file : repo.files) byPath[file.path] = &file;
     for (Finding &finding : raw) {
-        auto file = std::find_if(files.begin(), files.end(),
-                                 [&](const SourceFile &f) {
-                                     return f.path() == finding.path;
-                                 });
-        if (file != files.end() &&
-            file->allowed(finding.rule, finding.line)) {
+        auto it = byPath.find(finding.path);
+        if (it != byPath.end() &&
+            it->second->allowed(finding.rule, finding.line)) {
             ++report.suppressed;
         } else {
             report.findings.push_back(std::move(finding));
@@ -77,6 +136,32 @@ runLint(const std::vector<SourceFile> &files,
                   return std::tie(a.path, a.line, a.rule, a.message) <
                          std::tie(b.path, b.line, b.rule, b.message);
               });
+
+    report.linkMillis =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+}
+
+} // namespace
+
+LintReport
+runLint(const std::vector<SourceFile> &files,
+        const std::vector<std::string> &rules)
+{
+    LintReport report;
+    report.filesScanned = files.size();
+
+    auto start = std::chrono::steady_clock::now();
+    RepoIndex repo;
+    repo.files.reserve(files.size());
+    for (const SourceFile &file : files)
+        repo.files.push_back(buildIndex(file));
+    report.indexMillis = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+    linkAndReport(std::move(repo), rules, report);
     return report;
 }
 
@@ -89,21 +174,102 @@ runLint(const LintOptions &options)
     std::sort(paths.begin(), paths.end());
     paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
-    std::vector<SourceFile> files;
-    files.reserve(paths.size());
-    for (const auto &[rel, abs] : paths) {
-        if (auto file = SourceFile::load(abs.string(), rel))
-            files.push_back(std::move(*file));
+    LintReport report;
+    report.filesScanned = paths.size();
+
+    fs::path cacheDir;
+    bool useCache = !options.cacheDir.empty();
+    if (useCache) {
+        cacheDir = options.cacheDir;
+        std::error_code ec;
+        fs::create_directories(cacheDir, ec);
+        useCache = !ec && fs::is_directory(cacheDir, ec);
     }
 
-    std::vector<std::unique_ptr<Rule>> rules;
-    for (auto &rule : makeAllRules()) {
-        if (options.rules.empty() ||
-            std::find(options.rules.begin(), options.rules.end(),
-                      rule->name()) != options.rules.end())
-            rules.push_back(std::move(rule));
+    // Pass 1: index every file, parallel across a worker pool. Results
+    // land in a pre-sized slot vector so output order never depends on
+    // scheduling.
+    auto start = std::chrono::steady_clock::now();
+    std::vector<std::optional<FileIndex>> slots(paths.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> cacheHits{0};
+
+    auto worker = [&] {
+        while (true) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= slots.size()) return;
+            const auto &[rel, abs] = paths[i];
+            std::optional<std::string> bytes = readFile(abs);
+            if (!bytes) continue; // unreadable: skip, slot stays empty
+
+            std::uint64_t hash = hashContent(*bytes);
+            fs::path entry;
+            if (useCache) {
+                entry = cacheEntryPath(cacheDir, rel);
+                if (auto cached = readFile(entry)) {
+                    auto index = parseIndex(*cached, hash);
+                    // A hash-colliding entry for another path is a miss.
+                    if (index && index->path == rel) {
+                        slots[i] = std::move(*index);
+                        cacheHits.fetch_add(1);
+                        continue;
+                    }
+                }
+            }
+
+            SourceFile file = SourceFile::fromString(rel, *bytes);
+            FileIndex index = buildIndex(file);
+            if (useCache) {
+                // Write-then-rename so a concurrent reader never sees a
+                // truncated entry.
+                fs::path tmp = entry;
+                tmp += ".tmp";
+                std::ofstream out(tmp, std::ios::binary);
+                out << serializeIndex(index);
+                out.close();
+                std::error_code ec;
+                if (out) fs::rename(tmp, entry, ec);
+                if (ec) fs::remove(tmp, ec);
+            }
+            slots[i] = std::move(index);
+        }
+    };
+
+    unsigned jobs = options.jobs != 0
+                        ? options.jobs
+                        : std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::min<unsigned>(
+        jobs, static_cast<unsigned>(std::max<std::size_t>(1, paths.size())));
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+        for (std::thread &t : pool) t.join();
     }
-    return runLint(files, std::move(rules));
+    report.cacheHits = cacheHits.load();
+    report.indexMillis = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+    RepoIndex repo;
+    repo.files.reserve(slots.size());
+    for (auto &slot : slots)
+        if (slot) repo.files.push_back(std::move(*slot));
+
+    linkAndReport(std::move(repo), options.rules, report);
+
+    if (options.diffBaseline) {
+        fs::path baselinePath =
+            options.baselinePath.empty()
+                ? fs::path(options.root) / "tools/leaselint/baseline.lint"
+                : fs::path(options.baselinePath);
+        if (auto text = readFile(baselinePath))
+            report.baselineMatched =
+                applyBaseline(report.findings, parseBaseline(*text));
+    }
+    return report;
 }
 
 std::string

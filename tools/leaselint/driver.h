@@ -3,15 +3,28 @@
 
 /**
  * @file
- * The lint driver: file discovery, the two-pass rule run, and central
- * suppression filtering. Split from main() so the unit tests can run the
- * full pipeline over in-memory sources.
+ * The lint driver: file discovery, the two-pass engine, and central
+ * suppression filtering. Split from main() so the unit tests and the
+ * bench can run the full pipeline over in-memory sources or a live
+ * tree.
+ *
+ * Pass 1 (index) builds one FileIndex per source — in parallel across
+ * `jobs` worker threads, and memoized in `cacheDir` keyed by the file's
+ * content hash, so a warm rerun skips parsing and per-file rules for
+ * unchanged files entirely. Pass 2 (link) joins the indexes into a
+ * CallGraph and runs the whole-repo rules. Findings are filtered
+ * against the allow() suppression maps centrally, then optionally
+ * diffed against a committed baseline so CI can gate on new findings
+ * only. Output order is deterministic (path, line, rule, message)
+ * regardless of job count or cache state.
  */
 
 #include <string>
 #include <vector>
 
+#include "leaselint/index.h"
 #include "leaselint/rule.h"
+#include "leaselint/source.h"
 
 namespace leaselint {
 
@@ -23,17 +36,32 @@ struct LintOptions {
                                       "tests"};
     /** Rule names to run (empty = all). */
     std::vector<std::string> rules;
+    /** Index worker threads (0 = hardware concurrency). */
+    unsigned jobs = 0;
+    /** Index cache directory (empty = no cache). Created on demand. */
+    std::string cacheDir;
+    /** Baseline file for --diff-baseline (empty = root's committed one). */
+    std::string baselinePath;
+    /** Subtract the baseline: report and gate on new findings only. */
+    bool diffBaseline = false;
 };
 
 struct LintReport {
     std::vector<Finding> findings; ///< surviving (unsuppressed) findings
     std::size_t suppressed = 0;    ///< findings silenced by allow()
     std::size_t filesScanned = 0;
+    std::size_t cacheHits = 0;       ///< files served from the index cache
+    std::size_t baselineMatched = 0; ///< findings absorbed by the baseline
+    double indexMillis = 0.0;        ///< pass 1 wall time
+    double linkMillis = 0.0;         ///< pass 2 wall time
 };
 
-/** Run @p rules over @p files (already loaded). */
+/**
+ * Run the full two-pass pipeline over in-memory @p files (no cache, no
+ * baseline). @p rules empty = all rules.
+ */
 LintReport runLint(const std::vector<SourceFile> &files,
-                   std::vector<std::unique_ptr<Rule>> rules);
+                   const std::vector<std::string> &rules = {});
 
 /** Discover files under options.root and run the selected rules. */
 LintReport runLint(const LintOptions &options);

@@ -3,52 +3,44 @@
 
 /**
  * @file
- * The leaselint rule interface.
+ * The leaselint finding model.
  *
- * Linting is two-pass: every rule sees every file in scan() first (for
- * cross-file facts such as enum definitions or per-app acquire/release
- * tallies), then check() runs per file and finalize() once at the end.
+ * Rules come in two flavours on the two-pass engine (see index.h and
+ * driver.h):
+ *  - *per-file* rules run during pass 1 (indexing) and their findings are
+ *    memoized in the per-file index cache;
+ *  - *link* rules run during pass 2 over the linked RepoIndex/CallGraph
+ *    and may relate facts across translation units.
+ *
  * Rules emit findings unconditionally; the driver filters suppressed ones
- * against the `// leaselint: allow(<rule>)` map afterwards.
+ * against the `// leaselint: allow(<rule>)` maps afterwards, so the
+ * suppressed count stays visible in the report.
  */
 
 #include <cstddef>
-#include <memory>
+#include <optional>
 #include <string>
-#include <vector>
-
-#include "leaselint/source.h"
 
 namespace leaselint {
+
+/**
+ * A machine-applicable remedy attached to a finding, exported as a SARIF
+ * `fix` object: insert @p insertText (newline-terminated) above 1-based
+ * @p line of the finding's file.
+ */
+struct FixIt {
+    std::string description;
+    std::size_t line = 0;
+    std::string insertText;
+};
 
 struct Finding {
     std::string rule;
     std::string path;
     std::size_t line = 0;
     std::string message;
+    std::optional<FixIt> fix;
 };
-
-class Rule
-{
-  public:
-    virtual ~Rule() = default;
-
-    virtual const char *name() const = 0;
-    virtual const char *description() const = 0;
-
-    /** Pass 1: observe every file (cross-file state). Default: nothing. */
-    virtual void scan(const SourceFile &file) { (void)file; }
-
-    /** Pass 2: emit findings for one file. */
-    virtual void check(const SourceFile &file,
-                       std::vector<Finding> &out) = 0;
-
-    /** After pass 2: emit findings that needed cross-file state. */
-    virtual void finalize(std::vector<Finding> &out) { (void)out; }
-};
-
-/** Construct every built-in rule. */
-std::vector<std::unique_ptr<Rule>> makeAllRules();
 
 } // namespace leaselint
 

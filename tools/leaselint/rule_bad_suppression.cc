@@ -1,0 +1,50 @@
+/**
+ * @file
+ * bad-suppression: suppression comments that silently do nothing.
+ *
+ * Two failure modes, both of which previously escaped review because a
+ * broken suppression looks exactly like a working one:
+ *
+ *  - `// leaselint: allow(determinsm)` — a typo'd or renamed rule name;
+ *    the suppression map stores the unknown name, no rule ever matches
+ *    it, and the finding the author meant to silence keeps firing (or
+ *    worse: it silences nothing AND documents an intent the tool does
+ *    not enforce);
+ *  - `// leaselint: allow(determinism` — marker present but unparseable
+ *    (missing paren, empty allow()), so nothing is stored at all.
+ *
+ * Scope: src/, bench/, examples/ — the directories the whole-repo gate
+ * keeps clean. Docs and tests may mention the syntax in prose.
+ */
+
+#include "leaselint/rules.h"
+
+namespace leaselint {
+
+void
+checkBadSuppression(const SourceFile &file, std::vector<Finding> &out)
+{
+    if (!underDir(file.path(), "src") && !underDir(file.path(), "bench") &&
+        !underDir(file.path(), "examples"))
+        return;
+    for (std::size_t line : file.malformedAllowLines()) {
+        out.push_back(
+            {"bad-suppression", file.path(), line,
+             "leaselint suppression marker present but no parseable "
+             "allow(<rule>) — this comment suppresses nothing (check the "
+             "parentheses)"});
+    }
+    const auto &own = file.ownAllows();
+    for (std::size_t li = 0; li < own.size(); ++li) {
+        for (const std::string &rule : own[li]) {
+            if (isKnownRule(rule)) continue;
+            out.push_back(
+                {"bad-suppression", file.path(), li + 1,
+                 "allow(" + rule + ") names an unknown rule — the "
+                 "suppression silently matches nothing (see --list-rules "
+                 "for the rule inventory)"});
+        }
+    }
+}
+
+} // namespace leaselint

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * cross-unit-pairing: DroidLeaks-style acquire-without-release detection
+ * over the app corpus (src/apps/) and the examples, traced through
+ * helper calls across translation units.
+ *
+ * Supersedes the PR-2 file-local `pairing` rule. For each app unit (the
+ * .h/.cc pair sharing a path stem) the rule tallies acquire-side and
+ * release-side calls per resource-API pair over the unit's own functions
+ * PLUS every function reachable from them through the call graph — so a
+ * unit that releases via a shared RAII helper in another translation
+ * unit is no longer a false positive, and a unit whose "cleanup" helper
+ * forgot the release is no longer a false negative.
+ *
+ * Two findings:
+ *  - acquire with no reachable release: a leak unless the hold is
+ *    intentional (`// leaselint: allow(cross-unit-pairing)` at the
+ *    acquire site documents it; the finding carries a SARIF fix-it that
+ *    inserts that annotation);
+ *  - release with no acquire anywhere in the unit's reach: a
+ *    double-release / releasing a resource owned elsewhere. Shared
+ *    helper units (whose releasing functions are called from other
+ *    units) are exempt — the caller's unit owns the balance.
+ */
+
+#include "leaselint/rules.h"
+
+#include <map>
+
+namespace leaselint {
+
+namespace {
+
+struct SiteRef {
+    std::uint32_t fileIdx;
+    std::size_t line;
+    std::size_t indent;
+};
+
+struct PairTally {
+    std::size_t acquires = 0;
+    std::size_t releases = 0;
+    bool haveFirstAcquire = false;
+    SiteRef firstAcquire{};
+    bool haveAllowedAcquire = false;
+    SiteRef allowedAcquire{};
+    /** Release sites in the unit's OWN files (not just reachable). */
+    std::vector<FuncId> ownReleaseFuncs;
+    bool haveFirstRelease = false;
+    SiteRef firstRelease{};
+};
+
+bool
+inPairingScope(const std::string &path)
+{
+    return underDir(path, "src/apps") || underDir(path, "examples");
+}
+
+} // namespace
+
+void
+linkCrossUnitPairing(const RepoIndex &repo, const CallGraph &graph,
+                     std::vector<Finding> &out)
+{
+    // Units in scope, in first-file order for deterministic output.
+    std::vector<std::string> unitOrder;
+    std::map<std::string, std::vector<std::uint32_t>> unitFiles;
+    for (std::uint32_t fi = 0; fi < repo.files.size(); ++fi) {
+        const FileIndex &file = repo.files[fi];
+        if (!inPairingScope(file.path)) continue;
+        std::string unit = unitStem(file.path);
+        if (unitFiles.find(unit) == unitFiles.end())
+            unitOrder.push_back(unit);
+        unitFiles[unit].push_back(fi);
+    }
+
+    for (const std::string &unit : unitOrder) {
+        const std::vector<std::uint32_t> &files = unitFiles[unit];
+
+        std::vector<FuncId> roots;
+        for (std::uint32_t fi : files)
+            for (std::uint32_t f = 0; f < repo.files[fi].funcs.size(); ++f)
+                roots.push_back(graph.funcId(fi, f));
+
+        std::vector<char> reach(graph.funcCount(), 0);
+        for (FuncId id : graph.reachableFrom(roots)) reach[id] = 1;
+
+        std::vector<char> own(graph.funcCount(), 0);
+        for (FuncId id : roots) own[id] = 1;
+
+        // Tally resource sites attributed to this unit: sites inside a
+        // reachable function, plus file-scope sites in the unit's files.
+        std::map<std::size_t, PairTally> tallies;
+        for (std::uint32_t fi = 0; fi < repo.files.size(); ++fi) {
+            const FileIndex &file = repo.files[fi];
+            bool ownFile = inPairingScope(file.path) &&
+                           unitStem(file.path) == unit;
+            for (const ResourceSite &site : file.resources) {
+                bool counted;
+                FuncId id = kInvalidFunc;
+                if (site.func == kNoFunc) {
+                    counted = ownFile;
+                } else {
+                    id = graph.funcId(fi, site.func);
+                    counted = reach[id] != 0;
+                }
+                if (!counted) continue;
+                PairTally &tally = tallies[site.pair];
+                if (site.release) {
+                    ++tally.releases;
+                    if (!tally.haveFirstRelease && ownFile) {
+                        tally.haveFirstRelease = true;
+                        tally.firstRelease = {fi, site.line, site.indent};
+                    }
+                    if (ownFile && id != kInvalidFunc)
+                        tally.ownReleaseFuncs.push_back(id);
+                } else {
+                    ++tally.acquires;
+                    if (!tally.haveFirstAcquire) {
+                        tally.haveFirstAcquire = true;
+                        tally.firstAcquire = {fi, site.line, site.indent};
+                    }
+                    // Prefer an annotated acquire site so a suppression
+                    // on any acquire in the unit silences the finding.
+                    if (!tally.haveAllowedAcquire &&
+                        file.allowed("cross-unit-pairing", site.line)) {
+                        tally.haveAllowedAcquire = true;
+                        tally.allowedAcquire = {fi, site.line,
+                                                site.indent};
+                    }
+                }
+            }
+        }
+
+        for (const auto &[pi, tally] : tallies) {
+            const ApiPair &pair = apiPairs()[pi];
+            if (tally.acquires > 0 && tally.releases == 0) {
+                const SiteRef &at = tally.haveAllowedAcquire
+                                        ? tally.allowedAcquire
+                                        : tally.firstAcquire;
+                Finding finding{
+                    "cross-unit-pairing", repo.files[at.fileIdx].path,
+                    at.line,
+                    unit + " calls " + pair.acquire + "() " +
+                        std::to_string(tally.acquires) +
+                        " time(s) but never " + pair.release +
+                        "() — searched the unit and every function "
+                        "reachable from it across translation units; "
+                        "resource leak unless the hold is intentional "
+                        "(annotate the leak if it models a documented "
+                        "bug)"};
+                finding.fix = FixIt{
+                    "document the intentional hold with a suppression",
+                    at.line,
+                    std::string(at.indent, ' ') +
+                        "// leaselint: allow(cross-unit-pairing) -- "
+                        "TODO: justify this intentional hold\n"};
+                out.push_back(std::move(finding));
+                continue;
+            }
+            if (tally.releases > 0 && tally.acquires == 0 &&
+                tally.haveFirstRelease) {
+                // Shared-helper exemption: if any of the unit's releasing
+                // functions is called from outside the unit, the caller
+                // owns the acquire/release balance.
+                bool sharedHelper = false;
+                for (FuncId id : tally.ownReleaseFuncs)
+                    for (FuncId caller : graph.callers(id))
+                        if (!own[caller]) sharedHelper = true;
+                if (sharedHelper) continue;
+                const SiteRef &at = tally.firstRelease;
+                out.push_back(
+                    {"cross-unit-pairing", repo.files[at.fileIdx].path,
+                     at.line,
+                     unit + " calls " + pair.release + "() " +
+                         std::to_string(tally.releases) +
+                         " time(s) but never " + pair.acquire +
+                         "() — double release, or releasing a resource "
+                         "owned by another unit"});
+            }
+        }
+    }
+}
+
+} // namespace leaselint

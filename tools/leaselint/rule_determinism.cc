@@ -48,55 +48,37 @@ constexpr const char *kUnorderedTokens[] = {
     "unordered_multiset",
 };
 
-class DeterminismRule : public Rule
-{
-  public:
-    const char *name() const override { return "determinism"; }
-    const char *
-    description() const override
-    {
-        return "wall-clock, ambient RNG, or unordered-container iteration "
-               "in simulation code";
-    }
+} // namespace
 
-    void
-    check(const SourceFile &file, std::vector<Finding> &out) override
-    {
-        if (!underDir(file.path(), "src") && !underDir(file.path(), "bench"))
-            return;
-        for (std::size_t line = 1; line <= file.lineCount(); ++line) {
-            const std::string &code = file.codeLine(line);
-            // Preprocessor lines (#include <unordered_map> etc.) are not
-            // uses; the declaration/call site carries the finding.
-            std::size_t first = code.find_first_not_of(" \t");
-            if (first != std::string::npos && code[first] == '#') continue;
-            for (const auto &banned : kClockTokens) {
-                if (findToken(code, banned.token) != std::string::npos) {
-                    out.push_back({name(), file.path(), line,
-                                   std::string(banned.token) + ": " +
-                                       banned.why});
-                }
+void
+checkDeterminism(const SourceFile &file, std::vector<Finding> &out)
+{
+    if (!underDir(file.path(), "src") && !underDir(file.path(), "bench"))
+        return;
+    for (std::size_t line = 1; line <= file.lineCount(); ++line) {
+        const std::string &code = file.codeLine(line);
+        // Preprocessor lines (#include <unordered_map> etc.) are not
+        // uses; the declaration/call site carries the finding.
+        std::size_t first = code.find_first_not_of(" \t");
+        if (first != std::string::npos && code[first] == '#') continue;
+        for (const auto &banned : kClockTokens) {
+            if (findToken(code, banned.token) != std::string::npos) {
+                out.push_back({"determinism", file.path(), line,
+                               std::string(banned.token) + ": " +
+                                   banned.why});
             }
-            for (const char *container : kUnorderedTokens) {
-                if (findToken(code, container) != std::string::npos) {
-                    out.push_back(
-                        {name(), file.path(), line,
-                         std::string("std::") + container +
-                             ": iteration order is unspecified and can "
-                             "leak into results; use an ordered container "
-                             "or suppress with a justification"});
-                }
+        }
+        for (const char *container : kUnorderedTokens) {
+            if (findToken(code, container) != std::string::npos) {
+                out.push_back(
+                    {"determinism", file.path(), line,
+                     std::string("std::") + container +
+                         ": iteration order is unspecified and can "
+                         "leak into results; use an ordered container "
+                         "or suppress with a justification"});
             }
         }
     }
-};
-
-} // namespace
-
-std::unique_ptr<Rule>
-makeDeterminismRule()
-{
-    return std::make_unique<DeterminismRule>();
 }
 
 } // namespace leaselint

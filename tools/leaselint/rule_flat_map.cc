@@ -30,59 +30,41 @@ constexpr const char *kMapTokens[] = {
     "unordered_multimap",
 };
 
-class FlatMapHotpathRule : public Rule
-{
-  public:
-    const char *name() const override { return "flat-map-hotpath"; }
-    const char *
-    description() const override
-    {
-        return "node-based map in hot-path code (src/sim, src/power); "
-               "prefer dense arrays or InlineVec";
-    }
+} // namespace
 
-    void
-    check(const SourceFile &file, std::vector<Finding> &out) override
-    {
-        if (!underDir(file.path(), "src/sim") &&
-            !underDir(file.path(), "src/power"))
-            return;
-        for (std::size_t line = 1; line <= file.lineCount(); ++line) {
-            const std::string &code = file.codeLine(line);
-            std::size_t first = code.find_first_not_of(" \t");
-            if (first != std::string::npos && code[first] == '#') continue;
-            for (const char *token : kMapTokens) {
-                // Only qualified uses: a bare `map` identifier is too
-                // common (member names, comments stripped already, but
-                // locals like `bitmap` are caught by findToken's word
-                // boundary — `std::map`/`std::unordered_map` is the
-                // signal).
-                std::size_t pos = findToken(code, token);
-                while (pos != std::string::npos) {
-                    if (pos >= 5 && code.compare(pos - 5, 5, "std::") == 0) {
-                        out.push_back(
-                            {name(), file.path(), line,
-                             std::string("std::") + token +
-                                 " in hot-path code: node-based maps "
-                                 "allocate per insert and chase pointers "
-                                 "per lookup; use a dense slot-indexed "
-                                 "array or common::InlineVec, or suppress "
-                                 "with a justification (DESIGN.md §8)"});
-                        break; // one finding per line per token
-                    }
-                    pos = findToken(code, token, pos + 1);
+void
+checkFlatMapHotpath(const SourceFile &file, std::vector<Finding> &out)
+{
+    if (!underDir(file.path(), "src/sim") &&
+        !underDir(file.path(), "src/power"))
+        return;
+    for (std::size_t line = 1; line <= file.lineCount(); ++line) {
+        const std::string &code = file.codeLine(line);
+        std::size_t first = code.find_first_not_of(" \t");
+        if (first != std::string::npos && code[first] == '#') continue;
+        for (const char *token : kMapTokens) {
+            // Only qualified uses: a bare `map` identifier is too
+            // common (member names, comments stripped already, but
+            // locals like `bitmap` are caught by findToken's word
+            // boundary — `std::map`/`std::unordered_map` is the
+            // signal).
+            std::size_t pos = findToken(code, token);
+            while (pos != std::string::npos) {
+                if (pos >= 5 && code.compare(pos - 5, 5, "std::") == 0) {
+                    out.push_back(
+                        {"flat-map-hotpath", file.path(), line,
+                         std::string("std::") + token +
+                             " in hot-path code: node-based maps "
+                             "allocate per insert and chase pointers "
+                             "per lookup; use a dense slot-indexed "
+                             "array or common::InlineVec, or suppress "
+                             "with a justification (DESIGN.md §8)"});
+                    break; // one finding per line per token
                 }
+                pos = findToken(code, token, pos + 1);
             }
         }
     }
-};
-
-} // namespace
-
-std::unique_ptr<Rule>
-makeFlatMapHotpathRule()
-{
-    return std::make_unique<FlatMapHotpathRule>();
 }
 
 } // namespace leaselint

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * macro-side-effect: mutating expressions inside LEASEOS_TRACE /
+ * LEASEOS_ORACLE arguments.
+ *
+ * Both macros expand to nothing in default builds (tracing is compiled
+ * out unless LEASEOS_TRACING is set; oracle checks unless
+ * LEASEOS_CHECKED). An argument like `LEASEOS_TRACE(emit(ids++))` or
+ * `LEASEOS_ORACLE(state = recompute())` therefore mutates state ONLY in
+ * instrumented builds — the classic assert-with-side-effect bug, and the
+ * exact failure mode the obs-layer contract in DESIGN.md §7 forbids
+ * (instrumentation must never change simulation results).
+ *
+ * Detected mutations: ++ / --, compound assignment, and bare `=`
+ * (excluding comparisons and `[=]` lambda captures).
+ */
+
+#include "leaselint/rules.h"
+
+namespace leaselint {
+
+namespace {
+
+constexpr const char *kMacros[] = {"LEASEOS_TRACE", "LEASEOS_ORACLE"};
+
+/** Offset just past the ')' matching text[open] == '('. */
+std::size_t
+matchParen(const std::string &text, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < text.size(); ++i) {
+        if (text[i] == '(') ++depth;
+        else if (text[i] == ')' && --depth == 0) return i + 1;
+    }
+    return text.size();
+}
+
+/** True when @p arg contains a mutating operator. */
+bool
+hasMutation(const std::string &arg)
+{
+    for (std::size_t i = 0; i < arg.size(); ++i) {
+        char c = arg[i];
+        char next = i + 1 < arg.size() ? arg[i + 1] : '\0';
+        if ((c == '+' && next == '+') || (c == '-' && next == '-'))
+            return true;
+        // Compound assignment: op followed by '=' but not a comparison.
+        if (next == '=' &&
+            (c == '+' || c == '-' || c == '*' || c == '/' || c == '%' ||
+             c == '&' || c == '|' || c == '^'))
+            return true;
+        if ((c == '<' || c == '>') && next == c && i + 2 < arg.size() &&
+            arg[i + 2] == '=')
+            return true; // <<= / >>=
+        if (c == '=') {
+            if (next == '=') {
+                ++i; // '==' comparison
+                continue;
+            }
+            char prev = i > 0 ? arg[i - 1] : '\0';
+            if (prev == '=' || prev == '!' || prev == '<' || prev == '>')
+                continue; // right half of a comparison
+            if (prev == '[') continue; // [=] lambda capture
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * pp[i] = line i+1 is a preprocessor line (or a backslash continuation of
+ * one) — where the macro DEFINITION lives, not a use.
+ */
+std::vector<char>
+preprocessorLines(const SourceFile &file)
+{
+    std::vector<char> pp(file.lineCount(), 0);
+    bool continued = false;
+    for (std::size_t line = 1; line <= file.lineCount(); ++line) {
+        const std::string &raw = file.rawLine(line);
+        std::size_t first = raw.find_first_not_of(" \t");
+        bool isPp =
+            continued || (first != std::string::npos && raw[first] == '#');
+        pp[line - 1] = isPp ? 1 : 0;
+        std::size_t last = raw.find_last_not_of(" \t");
+        continued = isPp && last != std::string::npos && raw[last] == '\\';
+    }
+    return pp;
+}
+
+} // namespace
+
+void
+checkMacroSideEffect(const SourceFile &file, std::vector<Finding> &out)
+{
+    const std::string &text = file.codeText();
+    std::vector<char> pp = preprocessorLines(file);
+    for (const char *macro : kMacros) {
+        std::size_t at = 0;
+        while ((at = findToken(text, macro, at)) != std::string::npos) {
+            std::size_t pos = at;
+            at += 1;
+            std::size_t line = file.lineOfOffset(pos);
+            if (line >= 1 && line <= pp.size() && pp[line - 1]) continue;
+            std::size_t open = pos + std::string(macro).size();
+            while (open < text.size() &&
+                   (text[open] == ' ' || text[open] == '\t' ||
+                    text[open] == '\n'))
+                ++open;
+            if (open >= text.size() || text[open] != '(') continue;
+            std::size_t close = matchParen(text, open);
+            std::string arg = text.substr(open + 1, close - open - 2);
+            if (!hasMutation(arg)) continue;
+            out.push_back(
+                {"macro-side-effect", file.path(), line,
+                 std::string(macro) + " argument contains a mutating "
+                 "expression: the macro compiles out in default builds, "
+                 "so the side effect happens only in instrumented builds "
+                 "— hoist the mutation out of the macro argument"});
+        }
+    }
+}
+
+} // namespace leaselint

@@ -34,44 +34,26 @@ constexpr const char *kAllowedDirs[] = {
     "tools",
 };
 
-class ProxyBypassRule : public Rule
-{
-  public:
-    const char *name() const override { return "proxy-bypass"; }
-    const char *
-    description() const override
-    {
-        return "service interposition API used outside "
-               "proxies/mitigation/OS code";
-    }
+} // namespace
 
-    void
-    check(const SourceFile &file, std::vector<Finding> &out) override
-    {
-        for (const char *dir : kAllowedDirs)
-            if (underDir(file.path(), dir)) return;
-        for (std::size_t line = 1; line <= file.lineCount(); ++line) {
-            const std::string &code = file.codeLine(line);
-            for (const char *token : kInterpositionTokens) {
-                if (findToken(code, token) != std::string::npos) {
-                    out.push_back(
-                        {name(), file.path(), line,
-                         std::string(token) +
-                             "() mutates service interposition state; "
-                             "only lease proxies and mitigation "
-                             "controllers may bypass the app-facing API"});
-                }
+void
+checkProxyBypass(const SourceFile &file, std::vector<Finding> &out)
+{
+    for (const char *dir : kAllowedDirs)
+        if (underDir(file.path(), dir)) return;
+    for (std::size_t line = 1; line <= file.lineCount(); ++line) {
+        const std::string &code = file.codeLine(line);
+        for (const char *token : kInterpositionTokens) {
+            if (findToken(code, token) != std::string::npos) {
+                out.push_back(
+                    {"proxy-bypass", file.path(), line,
+                     std::string(token) +
+                         "() mutates service interposition state; "
+                         "only lease proxies and mitigation "
+                         "controllers may bypass the app-facing API"});
             }
         }
     }
-};
-
-} // namespace
-
-std::unique_ptr<Rule>
-makeProxyBypassRule()
-{
-    return std::make_unique<ProxyBypassRule>();
 }
 
 } // namespace leaselint

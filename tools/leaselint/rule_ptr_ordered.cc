@@ -1,0 +1,91 @@
+/**
+ * @file
+ * ptr-ordered-iteration: ordered containers keyed on raw pointers in
+ * src/.
+ *
+ * std::map<T*, V> / std::set<T*> sort by pointer VALUE, so iteration
+ * order depends on where the allocator put each node — which varies
+ * run-to-run under ASLR even with a fixed simulation seed. Any loop over
+ * such a container can leak addresses into event ordering, metrics, or
+ * sink output, breaking the byte-identical determinism contract
+ * (DESIGN.md §5) in a way the `determinism` rule's unordered-container
+ * check does not catch: the container is "ordered", just not by anything
+ * reproducible.
+ *
+ * Remedy: key on a stable id (lease id, interned uid) instead of the
+ * pointer, or keep a side vector in insertion order. Deliberate
+ * address-keyed lookups that are never iterated can be suppressed with a
+ * justification.
+ */
+
+#include "leaselint/rules.h"
+
+#include <cctype>
+
+namespace leaselint {
+
+namespace {
+
+constexpr const char *kOrderedContainers[] = {
+    "map",
+    "set",
+    "multimap",
+    "multiset",
+};
+
+/**
+ * First template argument after the '<' at @p open: text up to the first
+ * ',' or closing '>' at the container's own nesting depth.
+ */
+std::string
+firstTemplateArg(const std::string &text, std::size_t open)
+{
+    int depth = 1;
+    std::string arg;
+    for (std::size_t i = open + 1; i < text.size(); ++i) {
+        char c = text[i];
+        if (c == '<') ++depth;
+        else if (c == '>' && --depth == 0) break;
+        else if (c == ',' && depth == 1) break;
+        arg += c;
+    }
+    return arg;
+}
+
+} // namespace
+
+void
+checkPtrOrderedIteration(const SourceFile &file, std::vector<Finding> &out)
+{
+    if (!underDir(file.path(), "src")) return;
+    const std::string &text = file.codeText();
+    for (const char *container : kOrderedContainers) {
+        std::size_t at = 0;
+        while ((at = findToken(text, container, at)) != std::string::npos) {
+            std::size_t pos = at;
+            at += 1;
+            if (pos < 5 || text.compare(pos - 5, 5, "std::") != 0)
+                continue;
+            std::size_t open = pos + std::string(container).size();
+            while (open < text.size() &&
+                   std::isspace(static_cast<unsigned char>(text[open])))
+                ++open;
+            if (open >= text.size() || text[open] != '<') continue;
+            std::string key = firstTemplateArg(text, open);
+            if (key.find('*') == std::string::npos) continue;
+            // Trim for the message.
+            std::size_t b = key.find_first_not_of(" \t\n");
+            std::size_t e = key.find_last_not_of(" \t\n");
+            key = b == std::string::npos ? "" : key.substr(b, e - b + 1);
+            out.push_back(
+                {"ptr-ordered-iteration", file.path(),
+                 file.lineOfOffset(pos),
+                 "std::" + std::string(container) + " keyed on raw pointer "
+                 "`" + key + "`: iteration order follows allocation "
+                 "addresses, which change run-to-run under ASLR — key on "
+                 "a stable id or keep a side vector in insertion order"});
+        }
+    }
+}
+
+} // namespace leaselint

@@ -7,14 +7,15 @@
  * wrong bucket unnoticed. This rule keeps flagging missing enumerators
  * regardless of `default:`.
  *
- * The enumerator sets are harvested from the `enum class` definitions in
- * the linted sources themselves (pass 1), so the rule never drifts from
- * the headers.
+ * The enumerator sets come from the `enum class` definitions harvested
+ * into the per-file indexes (pass 1), so the rule never drifts from the
+ * headers; the link phase joins definitions and switch sites across the
+ * whole repo, so a switch in a .cc is checked against the enum in its
+ * header — or anyone else's.
  */
 
 #include "leaselint/rules.h"
 
-#include <cctype>
 #include <map>
 #include <set>
 
@@ -30,206 +31,47 @@ constexpr const char *kTargetEnums[] = {
 };
 
 bool
-identChar(char c)
+isTarget(const std::string &enumName)
 {
-    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+    for (const char *target : kTargetEnums)
+        if (enumName == target) return true;
+    return false;
 }
-
-std::size_t
-skipWs(const std::string &text, std::size_t at)
-{
-    while (at < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[at])))
-        ++at;
-    return at;
-}
-
-std::string
-readIdent(const std::string &text, std::size_t &at)
-{
-    std::size_t start = at;
-    while (at < text.size() && identChar(text[at])) ++at;
-    return text.substr(start, at - start);
-}
-
-/** Offset just past the bracket matching text[open] ('(' or '{'). */
-std::size_t
-matchBracket(const std::string &text, std::size_t open)
-{
-    char oc = text[open];
-    char cc = oc == '(' ? ')' : '}';
-    int depth = 0;
-    for (std::size_t i = open; i < text.size(); ++i) {
-        if (text[i] == oc) ++depth;
-        else if (text[i] == cc && --depth == 0) return i + 1;
-    }
-    return text.size();
-}
-
-class SwitchExhaustiveRule : public Rule
-{
-  public:
-    const char *name() const override { return "switch-exhaustive"; }
-    const char *
-    description() const override
-    {
-        return "switch over a core lease enum does not name every "
-               "enumerator";
-    }
-
-    void
-    scan(const SourceFile &file) override
-    {
-        const std::string &text = file.codeText();
-        std::size_t at = 0;
-        while ((at = findToken(text, "enum", at)) != std::string::npos) {
-            std::size_t cur = skipWs(text, at + 4);
-            at += 4;
-            std::size_t kw = cur;
-            std::string cls = readIdent(text, kw);
-            if (cls != "class" && cls != "struct") continue;
-            cur = skipWs(text, kw);
-            std::string enumName = readIdent(text, cur);
-            if (!isTarget(enumName)) continue;
-            cur = skipWs(text, cur);
-            if (cur < text.size() && text[cur] == ':') {
-                // Skip the underlying-type clause.
-                while (cur < text.size() && text[cur] != '{' &&
-                       text[cur] != ';')
-                    ++cur;
-            }
-            if (cur >= text.size() || text[cur] != '{') continue;
-            std::size_t bodyEnd = matchBracket(text, cur) - 1;
-            harvest(enumName, text, cur + 1, bodyEnd);
-        }
-    }
-
-    void
-    check(const SourceFile &file, std::vector<Finding> &out) override
-    {
-        const std::string &text = file.codeText();
-        std::size_t at = 0;
-        while ((at = findToken(text, "switch", at)) != std::string::npos) {
-            std::size_t kwAt = at;
-            at += 6;
-            std::size_t open = skipWs(text, kwAt + 6);
-            if (open >= text.size() || text[open] != '(') continue;
-            std::size_t afterCond = matchBracket(text, open);
-            std::size_t bodyOpen = skipWs(text, afterCond);
-            if (bodyOpen >= text.size() || text[bodyOpen] != '{') continue;
-            std::size_t bodyEnd = matchBracket(text, bodyOpen);
-            checkSwitch(file, kwAt, text, bodyOpen + 1, bodyEnd - 1, out);
-        }
-    }
-
-  private:
-    static bool
-    isTarget(const std::string &enumName)
-    {
-        for (const char *target : kTargetEnums)
-            if (enumName == target) return true;
-        return false;
-    }
-
-    /** Collect enumerator names between offsets [from, to). */
-    void
-    harvest(const std::string &enumName, const std::string &text,
-            std::size_t from, std::size_t to)
-    {
-        std::set<std::string> &values = enums_[enumName];
-        std::size_t cur = from;
-        while (cur < to) {
-            cur = skipWs(text, cur);
-            if (cur >= to) break;
-            std::string value = readIdent(text, cur);
-            if (!value.empty()) values.insert(value);
-            // Skip any "= expr" up to the next comma at depth 0.
-            int depth = 0;
-            while (cur < to) {
-                char c = text[cur];
-                if (c == '(' || c == '{') ++depth;
-                else if (c == ')' || c == '}') --depth;
-                else if (c == ',' && depth == 0) {
-                    ++cur;
-                    break;
-                }
-                ++cur;
-            }
-        }
-    }
-
-    void
-    checkSwitch(const SourceFile &file, std::size_t kwAt,
-                const std::string &text, std::size_t bodyFrom,
-                std::size_t bodyTo, std::vector<Finding> &out)
-    {
-        std::map<std::string, std::set<std::string>> present;
-        bool hasDefault = false;
-        std::size_t at = bodyFrom;
-        while (at < bodyTo) {
-            std::size_t caseAt = findToken(text, "case", at);
-            std::size_t defAt = findToken(text, "default", at);
-            if (defAt != std::string::npos && defAt < bodyTo)
-                hasDefault = true;
-            if (caseAt == std::string::npos || caseAt >= bodyTo) break;
-            std::size_t cur = skipWs(text, caseAt + 4);
-            // Parse a qualified id: ident(::ident)*; the enum name is the
-            // second-to-last component.
-            std::vector<std::string> parts;
-            while (cur < bodyTo) {
-                std::string part = readIdent(text, cur);
-                if (part.empty()) break;
-                parts.push_back(part);
-                if (cur + 1 < bodyTo && text[cur] == ':' &&
-                    text[cur + 1] == ':')
-                    cur += 2;
-                else
-                    break;
-            }
-            if (parts.size() >= 2)
-                present[parts[parts.size() - 2]].insert(parts.back());
-            at = caseAt + 4;
-        }
-
-        for (const auto &[enumName, values] : present) {
-            auto def = enums_.find(enumName);
-            if (def == enums_.end()) continue;
-            std::string missing;
-            for (const std::string &value : def->second)
-                if (values.count(value) == 0)
-                    missing += (missing.empty() ? "" : ", ") + value;
-            if (missing.empty()) continue;
-            out.push_back(
-                {name(), file.path(), file.lineOfOffset(kwAt),
-                 "switch over " + enumName + " is missing: " + missing +
-                     (hasDefault ? " (a default: label hides newly added "
-                                   "enumerators — enumerate them "
-                                   "explicitly)"
-                                 : "")});
-        }
-    }
-
-    std::map<std::string, std::set<std::string>> enums_;
-};
 
 } // namespace
 
-std::unique_ptr<Rule>
-makeSwitchExhaustiveRule()
+void
+linkSwitchExhaustive(const RepoIndex &repo, std::vector<Finding> &out)
 {
-    return std::make_unique<SwitchExhaustiveRule>();
-}
+    // Union the enumerator sets per enum name across every file.
+    std::map<std::string, std::set<std::string>> enums;
+    for (const FileIndex &file : repo.files)
+        for (const EnumDef &def : file.enums)
+            if (isTarget(def.name))
+                enums[def.name].insert(def.values.begin(),
+                                       def.values.end());
 
-std::vector<std::unique_ptr<Rule>>
-makeAllRules()
-{
-    std::vector<std::unique_ptr<Rule>> rules;
-    rules.push_back(makeDeterminismRule());
-    rules.push_back(makePairingRule());
-    rules.push_back(makeProxyBypassRule());
-    rules.push_back(makeSwitchExhaustiveRule());
-    rules.push_back(makeFlatMapHotpathRule());
-    return rules;
+    for (const FileIndex &file : repo.files) {
+        for (const SwitchSite &site : file.switches) {
+            auto def = enums.find(site.enumName);
+            if (def == enums.end()) continue;
+            std::set<std::string> present(site.values.begin(),
+                                          site.values.end());
+            std::string missing;
+            for (const std::string &value : def->second)
+                if (present.count(value) == 0)
+                    missing += (missing.empty() ? "" : ", ") + value;
+            if (missing.empty()) continue;
+            out.push_back(
+                {"switch-exhaustive", file.path, site.line,
+                 "switch over " + site.enumName + " is missing: " +
+                     missing +
+                     (site.hasDefault
+                          ? " (a default: label hides newly added "
+                            "enumerators — enumerate them explicitly)"
+                          : "")});
+        }
+    }
 }
 
 } // namespace leaselint

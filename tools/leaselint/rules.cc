@@ -1,0 +1,47 @@
+#include "leaselint/rules.h"
+
+namespace leaselint {
+
+const std::vector<RuleInfo> &
+allRules()
+{
+    static const std::vector<RuleInfo> rules = {
+        {"determinism",
+         "wall-clock, ambient RNG, or unordered-container iteration in "
+         "simulation code"},
+        {"ptr-ordered-iteration",
+         "ordered container keyed on a raw pointer in src/ (iteration "
+         "order is address-dependent under ASLR)"},
+        {"macro-side-effect",
+         "mutating expression inside a LEASEOS_TRACE / LEASEOS_ORACLE "
+         "argument (compiles out in default builds)"},
+        {"proxy-bypass",
+         "service interposition API used outside proxies/mitigation/OS "
+         "code"},
+        {"flat-map-hotpath",
+         "node-based map in hot-path code (src/sim, src/power); prefer "
+         "dense arrays or InlineVec"},
+        {"bad-suppression",
+         "allow() comment naming an unknown rule, or an unparseable "
+         "suppression marker"},
+        {"cross-unit-pairing",
+         "app unit acquires a resource with no release reachable through "
+         "the cross-translation-unit call graph (supersedes `pairing`)"},
+        {"switch-exhaustive",
+         "switch over a core lease enum does not name every enumerator"},
+        {"registry-contract",
+         "MetricRegistry registration reachable from post-construction / "
+         "hot code"},
+    };
+    return rules;
+}
+
+bool
+isKnownRule(const std::string &name)
+{
+    for (const RuleInfo &rule : allRules())
+        if (name == rule.name) return true;
+    return false;
+}
+
+} // namespace leaselint

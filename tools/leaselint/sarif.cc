@@ -55,11 +55,11 @@ sarifReport(const LintReport &report)
     os << "          \"informationUri\": "
           "\"https://example.invalid/leaselint\",\n";
     os << "          \"rules\": [\n";
-    auto rules = makeAllRules();
+    const auto &rules = allRules();
     for (std::size_t i = 0; i < rules.size(); ++i) {
-        os << "            {\"id\": \"" << jsonEscape(rules[i]->name())
+        os << "            {\"id\": \"" << jsonEscape(rules[i].name)
            << "\", \"shortDescription\": {\"text\": \""
-           << jsonEscape(rules[i]->description()) << "\"}}"
+           << jsonEscape(rules[i].description) << "\"}}"
            << (i + 1 < rules.size() ? "," : "") << "\n";
     }
     os << "          ]\n";
@@ -75,8 +75,23 @@ sarifReport(const LintReport &report)
            << "\"}, \"locations\": [{\"physicalLocation\": "
               "{\"artifactLocation\": {\"uri\": \""
            << jsonEscape(f.path) << "\"}, \"region\": {\"startLine\": "
-           << (f.line > 0 ? f.line : 1) << "}}}]}"
-           << (i + 1 < findings.size() ? "," : "") << "\n";
+           << (f.line > 0 ? f.line : 1) << "}}}]";
+        if (f.fix) {
+            // A fix-it: insert fix->insertText at the start of fix->line
+            // (zero-length deletedRegion = pure insertion).
+            os << ", \"fixes\": [{\"description\": {\"text\": \""
+               << jsonEscape(f.fix->description)
+               << "\"}, \"artifactChanges\": [{\"artifactLocation\": "
+                  "{\"uri\": \""
+               << jsonEscape(f.path)
+               << "\"}, \"replacements\": [{\"deletedRegion\": "
+                  "{\"startLine\": "
+               << (f.fix->line > 0 ? f.fix->line : 1)
+               << ", \"startColumn\": 1, \"endColumn\": 1}, "
+                  "\"insertedContent\": {\"text\": \""
+               << jsonEscape(f.fix->insertText) << "\"}}]}]}]";
+        }
+        os << "}" << (i + 1 < findings.size() ? "," : "") << "\n";
     }
     os << "      ]\n";
     os << "    }\n";

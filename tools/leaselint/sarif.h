@@ -9,6 +9,9 @@
  * The document is minimal but spec-conformant: one run, a tool.driver
  * carrying every built-in rule's id/description, and one result per
  * finding with a physicalLocation (root-relative uri + startLine).
+ * Findings that carry a FixIt also emit a SARIF `fixes` array (a pure
+ * insertion: zero-length deletedRegion + insertedContent), which GitHub
+ * renders as a suggested change on the code-scanning alert.
  */
 
 #include <string>

@@ -15,12 +15,17 @@ identChar(char c)
     return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-/** Extract rule names from "leaselint: allow(a, b)" inside comment text. */
-std::vector<std::string>
-parseAllows(const std::string &comment)
+/**
+ * Extract rule names from "leaselint: allow(a, b)" inside comment text.
+ * @return true when the "leaselint:" marker was present at all, so the
+ *         caller can distinguish "no suppression" from "suppression
+ *         written but unparseable".
+ */
+bool
+parseAllows(const std::string &comment, std::vector<std::string> &rules)
 {
-    std::vector<std::string> rules;
     std::size_t at = comment.find("leaselint:");
+    bool sawMarker = at != std::string::npos;
     while (at != std::string::npos) {
         std::size_t open = comment.find("allow(", at);
         if (open == std::string::npos) break;
@@ -43,7 +48,18 @@ parseAllows(const std::string &comment)
         flush();
         at = comment.find("leaselint:", close);
     }
-    return rules;
+    return sawMarker;
+}
+
+std::uint64_t
+fnv1a64(const std::string &bytes)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
 }
 
 } // namespace
@@ -53,17 +69,23 @@ SourceFile::fromString(std::string path, const std::string &text)
 {
     SourceFile f;
     f.path_ = std::move(path);
+    f.contentHash_ = fnv1a64(text);
 
-    // Split into lines (tolerate missing trailing newline).
+    // Split into lines (tolerate missing trailing newline). A trailing
+    // '\r' is stripped so CRLF files parse — and suppress findings —
+    // exactly like their LF-normalized form.
     std::size_t start = 0;
     while (start <= text.size()) {
         std::size_t nl = text.find('\n', start);
+        std::string line = nl == std::string::npos
+                               ? text.substr(start)
+                               : text.substr(start, nl - start);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
         if (nl == std::string::npos) {
-            if (start < text.size())
-                f.lines_.push_back(text.substr(start));
+            if (start < text.size()) f.lines_.push_back(std::move(line));
             break;
         }
-        f.lines_.push_back(text.substr(start, nl - start));
+        f.lines_.push_back(std::move(line));
         start = nl + 1;
     }
     if (f.lines_.empty()) f.lines_.emplace_back();
@@ -74,6 +96,7 @@ SourceFile::fromString(std::string path, const std::string &text)
     State state = State::Code;
     f.code_.reserve(f.lines_.size());
     f.allows_.assign(f.lines_.size(), {});
+    f.ownAllows_.assign(f.lines_.size(), {});
 
     for (std::size_t li = 0; li < f.lines_.size(); ++li) {
         const std::string &raw = f.lines_[li];
@@ -131,7 +154,12 @@ SourceFile::fromString(std::string path, const std::string &text)
         if (state == State::Str || state == State::Chr) state = State::Code;
 
         f.code_.push_back(std::move(code));
-        for (auto &rule : parseAllows(comment)) {
+        std::vector<std::string> rules;
+        bool sawMarker = parseAllows(comment, rules);
+        if (sawMarker && rules.empty())
+            f.malformedAllows_.push_back(li + 1);
+        for (auto &rule : rules) {
+            f.ownAllows_[li].push_back(rule);
             f.allows_[li].push_back(rule);
             if (li + 1 < f.allows_.size())
                 f.allows_[li + 1].push_back(rule);

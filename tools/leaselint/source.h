@@ -15,9 +15,15 @@
  *
  *     // leaselint: allow(determinism) -- justification
  *     foo();
+ *
+ * Line endings are normalized at parse time: a trailing '\r' (CRLF
+ * files) is stripped from every line before the code view and the
+ * suppression map are built, so a Windows checkout lints identically to
+ * a Unix one.
  */
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -58,6 +64,35 @@ class SourceFile
     /** True if @p rule is suppressed on 1-based @p line. */
     bool allowed(const std::string &rule, std::size_t line) const;
 
+    /** allows()[i] = rules suppressed on line i+1 (comment + next line). */
+    const std::vector<std::vector<std::string>> &allows() const
+    {
+        return allows_;
+    }
+
+    /**
+     * ownAllows()[i] = rules named by an allow() comment ON line i+1
+     * itself (no next-line propagation) — one entry per written
+     * suppression, for auditing them.
+     */
+    const std::vector<std::vector<std::string>> &ownAllows() const
+    {
+        return ownAllows_;
+    }
+
+    /**
+     * 1-based lines whose comment contains the "leaselint:" marker but
+     * parses to no rule names (missing paren, empty allow()): the
+     * author wrote a suppression that silently suppresses nothing.
+     */
+    const std::vector<std::size_t> &malformedAllowLines() const
+    {
+        return malformedAllows_;
+    }
+
+    /** FNV-1a 64-bit hash of the raw bytes this file was parsed from. */
+    std::uint64_t contentHash() const { return contentHash_; }
+
   private:
     std::string path_;
     std::vector<std::string> lines_;
@@ -67,6 +102,9 @@ class SourceFile
     std::vector<std::size_t> lineStart_;
     /** allows_[i] = rules suppressed on line i+1. */
     std::vector<std::vector<std::string>> allows_;
+    std::vector<std::vector<std::string>> ownAllows_;
+    std::vector<std::size_t> malformedAllows_;
+    std::uint64_t contentHash_ = 0;
 };
 
 /**

@@ -21,6 +21,10 @@
  * DIR/rollup.json, and each of the 20 LeaseOS cells exports its trace
  * ring to DIR/<app>_leaseos.jsonl (populated in -DLEASEOS_TRACING=ON
  * builds). The stdout table is unaffected.
+ *
+ * `--flightrec-dir=DIR` installs an obs::FlightRecorder per cell: if the
+ * checked-mode oracle aborts, the cell's trace ring and metrics snapshot
+ * land in DIR/flightrec-<cell>-*.json for tools/tracereplay triage.
  */
 
 #include <cstring>
@@ -44,9 +48,13 @@ main(int argc, char **argv)
     harness::MitigationRunOptions opt; // 30 min, Pixel XL, user glances
 
     std::string traceDir;
-    for (int i = 1; i < argc; ++i)
+    std::string flightRecDir;
+    for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--trace-dir=", 12) == 0)
             traceDir = argv[i] + 12;
+        else if (std::strncmp(argv[i], "--flightrec-dir=", 16) == 0)
+            flightRecDir = argv[i] + 16;
+    }
 
     const MitigationMode modes[] = {
         MitigationMode::None, MitigationMode::LeaseOS,
@@ -69,6 +77,9 @@ main(int argc, char **argv)
                     run.traceCapacity = 1u << 14;
                 }
             }
+            // In checked builds an oracle abort first dumps the cell's
+            // trace ring + metrics there for offline tracereplay triage.
+            if (!flightRecDir.empty()) run.flightRecordDir = flightRecDir;
             specs.push_back(std::move(run));
         }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "lease/lease_table.h"
+#include "obs/flight_recorder.h"
 #include "os/binder.h"
 #include "os/system_server.h"
 #include "power/battery.h"
@@ -254,11 +255,47 @@ InvariantOracle::checkAppTeardown(sim::Time now, os::SystemServer &server,
 }
 
 void
+InvariantOracle::noteDeferralSettled(sim::Time now, lease::LeaseId id,
+                                     sim::Time deferredAt,
+                                     double accountedSeconds)
+{
+    const double realized = (now - deferredAt).seconds();
+    if (now >= deferredAt &&
+        relativeClose(accountedSeconds, realized, 1e-9)) {
+        return;
+    }
+    std::ostringstream detail;
+    detail << "deferral settled with " << accountedSeconds
+           << "s accounted but " << realized
+           << "s of wall deferral time actually elapsed (deferred at t="
+           << deferredAt.seconds() << "s)";
+    report({"deferral-accounting", now, id, detail.str()});
+}
+
+void
 InvariantOracle::report(Violation violation)
 {
-    if (mode_ == FailMode::Abort) {
+    // While a flight record is being written, a violation fired from
+    // inside the dump (e.g. a bound-metric callback) must not abort the
+    // process mid-file or recurse into a second dump — record it instead.
+    if (mode_ == FailMode::Abort && !obs::FlightRecorder::inDump()) {
         std::fprintf(stderr, "%s\n", violation.toString().c_str());
         std::fflush(stderr);
+        if (obs::FlightRecorder *rec = obs::FlightRecorder::current()) {
+            obs::FlightRecordContext ctx;
+            ctx.reason = "invariant-violation";
+            ctx.check = violation.check;
+            ctx.detail = violation.detail;
+            ctx.simTime = violation.simTime;
+            ctx.leaseId = violation.leaseId;
+            std::string path = rec->dump(ctx);
+            if (!path.empty()) {
+                std::fprintf(stderr,
+                             "[leaseos-invariant] flight record: %s\n",
+                             path.c_str());
+                std::fflush(stderr);
+            }
+        }
         std::abort();
     }
     violations_.push_back(std::move(violation));

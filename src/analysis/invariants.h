@@ -19,12 +19,17 @@
  *    energy integrals sum to the accountant's total, which bounds the
  *    battery's drained energy;
  *  - acquire/release balance at app teardown: a stopping app holds no
- *    wakelocks, GPS requests, or sensor registrations.
+ *    wakelocks, GPS requests, or sensor registrations;
+ *  - deferral τ accounting: when a lease leaves DEFERRED, the seconds
+ *    credited to totalDeferralSeconds equal the wall deferral time that
+ *    actually elapsed.
  *
  * Violations produce a structured diagnostic carrying the simulated time
  * and lease id (when one is involved). In Abort mode (the default for
- * checked example/bench runs) the process dies loudly; in Record mode
- * (tests) violations accumulate for inspection.
+ * checked example/bench runs) the process dies loudly; before aborting,
+ * the oracle cuts a flight record (trace ring + metrics snapshot) through
+ * the thread's installed obs::FlightRecorder, if any — see DESIGN.md §10.
+ * In Record mode (tests) violations accumulate for inspection.
  *
  * Wiring: hook sites in src/lease, src/sim, src/app, and src/harness call
  * through the LEASEOS_ORACLE macro, which compiles to nothing unless the
@@ -107,6 +112,16 @@ class InvariantOracle
 
     /** Validate that the simulator clock never runs backwards. */
     void noteEventDispatch(sim::Time now, sim::Time eventTime);
+
+    /**
+     * Validate deferral τ accounting when a lease leaves DEFERRED (resume
+     * or death): the seconds the manager just credited must equal the
+     * wall deferral time actually realized since @p deferredAt. Catches
+     * both the historic defer-time pre-crediting bug and any future
+     * drift between the schedule and the settle path.
+     */
+    void noteDeferralSettled(sim::Time now, lease::LeaseId id,
+                             sim::Time deferredAt, double accountedSeconds);
 
     // ---- Audits (pull-style, run periodically and at shutdown) --------
 

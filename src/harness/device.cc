@@ -93,6 +93,14 @@ Device::Device(DeviceConfig config)
         rng_, config_.profile,
         leaseos_ ? &leaseos_->manager() : nullptr});
 
+    if (!config_.flightRecordDir.empty()) {
+        // Installed before the oracle: its abort path dumps through
+        // FlightRecorder::current(). Costs nothing until a dump.
+        recorder_ = std::make_unique<obs::FlightRecorder>(
+            config_.flightRecordDir, "device");
+        recorder_->install();
+    }
+
 #if defined(LEASEOS_CHECKED)
     if (config_.checkedOracle) {
         oracle_ = std::make_unique<analysis::InvariantOracle>(

@@ -20,6 +20,7 @@
 
 #include "analysis/invariants.h"
 #include "app/app.h"
+#include "obs/flight_recorder.h"
 #include "app/app_context.h"
 #include "env/gps_environment.h"
 #include "env/motion_model.h"
@@ -86,6 +87,14 @@ struct DeviceConfig {
      * Ignored in normal builds.
      */
     bool checkedOracle = true;
+    /**
+     * When non-empty, the device installs an obs::FlightRecorder for its
+     * thread so the checked-mode oracle's abort path can dump the trace
+     * ring + metrics snapshot there before dying (DESIGN.md §10). Free
+     * until a dump happens. Harness runs usually set this per-run via
+     * RunSpec::flightRecordDir instead.
+     */
+    std::string flightRecordDir;
 
     // ---- Fluent builders -----------------------------------------------
 
@@ -161,6 +170,12 @@ struct DeviceConfig {
     withCheckedOracle(bool enabled)
     {
         checkedOracle = enabled;
+        return *this;
+    }
+    DeviceConfig &
+    withFlightRecordDir(std::string dir)
+    {
+        flightRecordDir = std::move(dir);
         return *this;
     }
 };
@@ -273,6 +288,8 @@ class Device
     Uid nextUid_ = kFirstAppUid;
     bool started_ = false;
 
+    /** Set when config.flightRecordDir is non-empty (any build). */
+    std::unique_ptr<obs::FlightRecorder> recorder_;
     /** Only set in checked builds (LEASEOS_CHECKED). */
     std::unique_ptr<analysis::InvariantOracle> oracle_;
     sim::PeriodicHandle auditTick_;

@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/flight_recorder.h"
 #include "obs/metric_registry.h"
 #include "obs/trace_export.h"
 
@@ -92,10 +93,19 @@ class TelemetryScope
                          spec.name.empty() ? "run" : spec.name.c_str());
 #endif
         }
+        if (!spec.flightRecordDir.empty()) {
+            // Installed last so the oracle's abort-path dump sees the
+            // registry and ring installed above. No per-event cost.
+            recorder_ = std::make_unique<obs::FlightRecorder>(
+                spec.flightRecordDir,
+                spec.name.empty() ? "run" : spec.name);
+            recorder_->install();
+        }
     }
 
     ~TelemetryScope()
     {
+        if (recorder_) recorder_->uninstall();
         if (trace_) trace_->uninstall();
         if (registry_) registry_->uninstall();
     }
@@ -120,6 +130,7 @@ class TelemetryScope
   private:
     std::unique_ptr<obs::MetricRegistry> registry_;
     std::unique_ptr<obs::TraceBuffer> trace_;
+    std::unique_ptr<obs::FlightRecorder> recorder_;
 };
 
 } // namespace

@@ -99,6 +99,15 @@ struct RunSpec {
     std::string tracePath;
     std::size_t traceCapacity = obs::TraceBuffer::kDefaultCapacity;
 
+    /**
+     * When non-empty, an obs::FlightRecorder is installed for the run's
+     * thread: if the checked-mode oracle aborts, it first dumps the trace
+     * ring + metrics snapshot to `flightRecordDir/flightrec-<name>-*.json`
+     * (DESIGN.md §10). Free when nothing fires — the recorder does no
+     * per-event work.
+     */
+    std::string flightRecordDir;
+
     // ---- Fluent helpers (keep spec lists declarative) -------------------
 
     RunSpec &
@@ -172,6 +181,12 @@ struct RunSpec {
     {
         tracePath = std::move(path);
         traceCapacity = capacity;
+        return *this;
+    }
+    RunSpec &
+    withFlightRecorder(std::string dir)
+    {
+        flightRecordDir = std::move(dir);
         return *this;
     }
 };

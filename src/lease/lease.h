@@ -71,6 +71,13 @@ struct Lease {
 
     std::uint64_t renewals = 0;
     std::uint64_t deferrals = 0;
+    /** When the current deferral began (valid while state == Deferred). */
+    sim::Time deferredAt;
+    /**
+     * Wall seconds actually spent deferred, credited when the lease
+     * *leaves* DEFERRED (resume or death) — never pre-credited with the
+     * scheduled τ, which over-counts leases killed mid-deferral.
+     */
     double totalDeferralSeconds = 0.0;
 
     /** Bounded per-term history, newest at the back. */

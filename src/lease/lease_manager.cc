@@ -75,6 +75,7 @@ LeaseManagerService::initMetrics()
     m_.utilityCharges = r.counter("utility.charges");
     m_.utilityScore = r.histogram("utility.score");
     m_.termSeconds = r.histogram("lease.term_seconds");
+    m_.deferralSeconds = r.histogram("lease.deferral_seconds");
     const BehaviorType kinds[] = {
         BehaviorType::Normal, BehaviorType::FrequentAsk,
         BehaviorType::LongHolding, BehaviorType::LowUtility,
@@ -219,6 +220,9 @@ LeaseManagerService::remove(LeaseId id)
         sim_.cancel(lease->pendingEvent);
         lease->pendingEvent = sim::kInvalidEventId;
     }
+    // A lease killed mid-τ gets credit for the deferral time it actually
+    // served — not the full scheduled τ (the historic over-count).
+    if (lease->state == LeaseState::Deferred) settleDeferral(*lease);
     LEASEOS_ORACLE(noteLeaseTransition(sim_.now(), lease->id, lease->state,
                                        LeaseState::Dead));
     noteTransition(*lease, LeaseState::Dead);
@@ -403,10 +407,10 @@ LeaseManagerService::onTermEnd(LeaseId id)
                                            LeaseState::Deferred));
         noteTransition(*lease, LeaseState::Deferred);
         lease->state = LeaseState::Deferred;
+        lease->deferredAt = sim_.now();
         ++lease->deferrals;
         ++totalDeferrals_;
         if (metrics_) metrics_->add(m_.deferrals);
-        lease->totalDeferralSeconds += tau.seconds();
         proxy->onExpire(*lease);
         lease->pendingEvent =
             sim_.schedule(tau, [this, id] { onDeferralEnd(id); });
@@ -429,6 +433,7 @@ LeaseManagerService::onDeferralEnd(LeaseId id)
     Lease *lease = table_.find(id);
     if (!lease || lease->state != LeaseState::Deferred) return;
     lease->pendingEvent = sim::kInvalidEventId;
+    settleDeferral(*lease);
 
     LeaseProxy *proxy = proxyFor(lease->rtype);
     if (proxy) proxy->onRenew(*lease); // restore the kernel object
@@ -454,6 +459,17 @@ LeaseManagerService::onDeferralEnd(LeaseId id)
         noteTransition(*lease, LeaseState::Inactive);
         lease->state = LeaseState::Inactive;
     }
+}
+
+void
+LeaseManagerService::settleDeferral(Lease &lease)
+{
+    const double realized = (sim_.now() - lease.deferredAt).seconds();
+    lease.totalDeferralSeconds += realized;
+    totalDeferralSeconds_ += realized;
+    if (metrics_) metrics_->observe(m_.deferralSeconds, realized);
+    LEASEOS_ORACLE(noteDeferralSettled(sim_.now(), lease.id,
+                                       lease.deferredAt, realized));
 }
 
 void

@@ -102,6 +102,11 @@ class LeaseManagerService
     std::uint64_t totalDeferrals() const { return totalDeferrals_; }
     std::uint64_t totalRenewals() const { return totalRenewals_; }
     std::uint64_t termChecks() const { return termChecks_; }
+    /**
+     * Wall seconds of deferral realized across all leases (settled when
+     * each lease leaves DEFERRED; per-lease figures die with the reap).
+     */
+    double totalDeferralSeconds() const { return totalDeferralSeconds_; }
 
     /** Lifespans (seconds) of leases that have died, for Fig. 11 stats. */
     const sim::Accumulator &lifespanStats() const { return lifespans_; }
@@ -136,6 +141,9 @@ class LeaseManagerService
 
     void recordDeath(Lease &lease);
 
+    /** Credit realized deferral wall time as a lease leaves DEFERRED. */
+    void settleDeferral(Lease &lease);
+
     /** Intern this service's metrics in the run's registry (DESIGN §9). */
     void initMetrics();
     /** Count + trace one state transition (the six Fig. 5 sites). */
@@ -160,6 +168,7 @@ class LeaseManagerService
     std::uint64_t totalDeferrals_ = 0;
     std::uint64_t totalRenewals_ = 0;
     std::uint64_t termChecks_ = 0;
+    double totalDeferralSeconds_ = 0.0;
 
     /** Telemetry (nullptr unless a registry was installed for the run). */
     obs::MetricRegistry *metrics_ = nullptr;
@@ -178,6 +187,7 @@ class LeaseManagerService
         obs::MetricId utilityCharges = obs::kInvalidMetricId;
         obs::MetricId utilityScore = obs::kInvalidMetricId; // histogram
         obs::MetricId termSeconds = obs::kInvalidMetricId;  // histogram
+        obs::MetricId deferralSeconds = obs::kInvalidMetricId; // histogram
         obs::MetricId behavior[5] = {
             obs::kInvalidMetricId, obs::kInvalidMetricId,
             obs::kInvalidMetricId, obs::kInvalidMetricId,

@@ -121,6 +121,37 @@ MetricRegistry::histBucket(MetricId id, int bucket) const
             .load());
 }
 
+double
+MetricRegistry::histPercentile(MetricId id, double q) const
+{
+    assert(slots_[id].kind == MetricKind::Histogram);
+    const std::uint64_t total = histCount(id);
+    if (total == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank of the target observation, 1-based; q=0 maps to the first.
+    double target = q * static_cast<double>(total);
+    if (target < 1.0) target = 1.0;
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kHistBuckets; ++b) {
+        const std::uint64_t n = histBucket(id, b);
+        if (n == 0) continue;
+        if (static_cast<double>(seen) + static_cast<double>(n) >= target) {
+            // Bucket 0 covers [0,1); bucket b >= 1 covers [2^(b-1), 2^b).
+            const double lo =
+                b == 0 ? 0.0
+                       : static_cast<double>(std::uint64_t{1} << (b - 1));
+            const double hi =
+                b == 0 ? 1.0 : static_cast<double>(std::uint64_t{1} << b);
+            const double frac =
+                (target - static_cast<double>(seen)) / static_cast<double>(n);
+            return lo + (hi - lo) * frac;
+        }
+        seen += n;
+    }
+    return 0.0; // unreachable: every observation lands in some bucket
+}
+
 int
 MetricRegistry::bucketFor(double value) noexcept
 {
@@ -157,6 +188,9 @@ MetricRegistry::snapshot() const
             out.emplace_back(names_[id] + ".count",
                              static_cast<double>(histCount(id)));
             out.emplace_back(names_[id] + ".sum", histSum(id));
+            out.emplace_back(names_[id] + ".p50", histPercentile(id, 0.50));
+            out.emplace_back(names_[id] + ".p90", histPercentile(id, 0.90));
+            out.emplace_back(names_[id] + ".p99", histPercentile(id, 0.99));
         } else {
             out.emplace_back(names_[id], value(id));
         }

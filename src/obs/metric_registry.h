@@ -116,6 +116,14 @@ class MetricRegistry
     double histSum(MetricId id) const;
     std::uint64_t histBucket(MetricId id, int bucket) const;
 
+    /**
+     * Quantile estimate (q in [0,1]) from the log2 buckets, linearly
+     * interpolated within the bucket holding the target rank. Exact when
+     * all observations share one bucket edge, otherwise an estimate
+     * bounded by the bucket's [2^(b-1), 2^b) range. 0 when empty.
+     */
+    double histPercentile(MetricId id, double q) const;
+
     /** log2 bucket index for @p value: 0 for v < 1, else 1+floor(log2). */
     static int bucketFor(double value) noexcept;
 
@@ -130,7 +138,8 @@ class MetricRegistry
     /**
      * Deterministic (name, value) rollup in registration order. Scalar
      * metrics contribute one entry; histograms contribute
-     * "<name>.count" and "<name>.sum".
+     * "<name>.count", "<name>.sum", and bucket-interpolated
+     * "<name>.p50" / "<name>.p90" / "<name>.p99" percentiles.
      */
     std::vector<std::pair<std::string, double>> snapshot() const;
 

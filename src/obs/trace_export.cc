@@ -7,10 +7,8 @@
 
 namespace leaseos::obs {
 
-namespace {
-
 void
-writeJsonLine(const TraceEvent &e, std::ostream &out)
+writeEventJson(const TraceEvent &e, std::ostream &out)
 {
     char line[192];
     std::snprintf(line, sizeof line,
@@ -21,8 +19,10 @@ writeJsonLine(const TraceEvent &e, std::ostream &out)
                   traceCategoryName(static_cast<TraceCategory>(e.category)),
                   traceCodeName(static_cast<TraceCode>(e.code)), e.uid,
                   e.leaseId, e.payload);
-    out << line << '\n';
+    out << line;
 }
+
+namespace {
 
 void
 writeChromeEvent(const TraceEvent &e, bool first, std::ostream &out)
@@ -48,8 +48,10 @@ writeChromeEvent(const TraceEvent &e, bool first, std::ostream &out)
 void
 writeJsonLines(const TraceBuffer &buffer, std::ostream &out)
 {
-    for (std::size_t i = 0; i < buffer.size(); ++i)
-        writeJsonLine(buffer.event(i), out);
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+        writeEventJson(buffer.event(i), out);
+        out << '\n';
+    }
 }
 
 void

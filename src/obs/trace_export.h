@@ -23,6 +23,13 @@
 
 namespace leaseos::obs {
 
+/**
+ * One event as a single-line JSON object (no trailing newline) — the
+ * record format shared by the JSON-lines exporter and the flight
+ * recorder, so tools/tracereplay parses both from one schema.
+ */
+void writeEventJson(const TraceEvent &event, std::ostream &out);
+
 /** One JSON object per retained event, oldest first. */
 void writeJsonLines(const TraceBuffer &buffer, std::ostream &out);
 

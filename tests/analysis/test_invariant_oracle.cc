@@ -105,6 +105,32 @@ TEST(InvariantOracle, BackwardsEventDispatchIsReported)
     EXPECT_EQ(oracle.violations().front().check, "time-monotonicity");
 }
 
+// ---- Deferral τ accounting -------------------------------------------------
+
+TEST(InvariantOracle, DeferralSettleMatchingRealizedTimeIsClean)
+{
+    InvariantOracle oracle = recordOracle();
+    // Deferred at 5 s, settled at 30 s, 25 s credited: exact.
+    oracle.noteDeferralSettled(30_s, 7, 5_s, 25.0);
+    // Killed mid-τ at 15 s with the realized 10 s credited: also fine.
+    oracle.noteDeferralSettled(15_s, 8, 5_s, 10.0);
+    EXPECT_TRUE(oracle.clean());
+}
+
+TEST(InvariantOracle, DeferralSettleCreditingScheduledTauIsReported)
+{
+    InvariantOracle oracle = recordOracle();
+    // The historic bug: the full scheduled τ (25 s) credited even though
+    // the lease died 10 s into the deferral.
+    oracle.noteDeferralSettled(15_s, 7, 5_s, 25.0);
+    ASSERT_EQ(oracle.violations().size(), 1u);
+    const analysis::Violation &v = oracle.violations().front();
+    EXPECT_EQ(v.check, "deferral-accounting");
+    EXPECT_EQ(v.leaseId, 7u);
+    EXPECT_NE(v.detail.find("25"), std::string::npos);
+    EXPECT_NE(v.detail.find("10"), std::string::npos);
+}
+
 // ---- Install / current ------------------------------------------------------
 
 TEST(InvariantOracle, InstallNestsAndRestores)

@@ -75,6 +75,42 @@ TEST_F(LeaseManagerTest, DeferralEscalatesForPersistentMisbehaviour)
     EXPECT_EQ(mgr.lease(id)->state, LeaseState::Active);
 }
 
+TEST_F(LeaseManagerTest, DeferralSecondsSettleOnResume)
+{
+    // Idle wakelock: LHB at the first 5 s term end, deferred for τ=25 s,
+    // resumed at t=30 s. Deferral seconds are credited when the lease
+    // *leaves* DEFERRED, and the realized time equals the scheduled τ
+    // only because the deferral ran to completion.
+    os::TokenId t = pms.newWakeLock(kApp, os::WakeLockType::Partial, "x");
+    pms.acquire(t);
+    LeaseId id = mgr.leaseIdForToken(t);
+    sim.runFor(15_s);
+    ASSERT_EQ(mgr.lease(id)->state, LeaseState::Deferred);
+    // Mid-deferral nothing is credited yet — crediting the scheduled τ
+    // up-front was the double-accounting bug.
+    EXPECT_DOUBLE_EQ(mgr.lease(id)->totalDeferralSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(mgr.totalDeferralSeconds(), 0.0);
+    sim.runFor(16_s); // past the t=30 s resume
+    ASSERT_EQ(mgr.lease(id)->state, LeaseState::Active);
+    EXPECT_DOUBLE_EQ(mgr.lease(id)->totalDeferralSeconds, 25.0);
+    EXPECT_DOUBLE_EQ(mgr.totalDeferralSeconds(), 25.0);
+}
+
+TEST_F(LeaseManagerTest, MidDeferralDeathCreditsRealizedTimeOnly)
+{
+    // The regression the deferral-accounting invariant guards: a lease
+    // killed 10 s into a 25 s deferral must be charged the 10 s that
+    // actually elapsed, not the τ that was scheduled.
+    os::TokenId t = pms.newWakeLock(kApp, os::WakeLockType::Partial, "x");
+    pms.acquire(t);
+    LeaseId id = mgr.leaseIdForToken(t);
+    sim.runFor(15_s); // deferred at t=5 s; 10 s into the 25 s τ
+    ASSERT_EQ(mgr.lease(id)->state, LeaseState::Deferred);
+    pms.destroy(t); // app releases+destroys the token mid-deferral
+    EXPECT_EQ(mgr.lease(id), nullptr);
+    EXPECT_DOUBLE_EQ(mgr.totalDeferralSeconds(), 10.0);
+}
+
 TEST_F(LeaseManagerTest, TotalsTrackActivity)
 {
     os::TokenId t = pms.newWakeLock(kApp, os::WakeLockType::Partial, "x");

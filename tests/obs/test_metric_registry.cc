@@ -117,13 +117,50 @@ TEST(MetricRegistryTest, SnapshotKeepsRegistrationOrder)
     reg.gauge("aa");
     reg.observe(h, 2.0);
     auto snap = reg.snapshot();
-    ASSERT_EQ(snap.size(), 4u);
+    ASSERT_EQ(snap.size(), 7u);
     EXPECT_EQ(snap[0].first, "zz");
     EXPECT_EQ(snap[1].first, "hist.count");
     EXPECT_DOUBLE_EQ(snap[1].second, 1.0);
     EXPECT_EQ(snap[2].first, "hist.sum");
     EXPECT_DOUBLE_EQ(snap[2].second, 2.0);
-    EXPECT_EQ(snap[3].first, "aa");
+    EXPECT_EQ(snap[3].first, "hist.p50");
+    EXPECT_EQ(snap[4].first, "hist.p90");
+    EXPECT_EQ(snap[5].first, "hist.p99");
+    EXPECT_EQ(snap[6].first, "aa");
+}
+
+TEST(MetricRegistryTest, HistPercentileInterpolatesWithinBucket)
+{
+    MetricRegistry reg;
+    MetricId h = reg.histogram("h");
+    EXPECT_DOUBLE_EQ(reg.histPercentile(h, 0.5), 0.0); // empty
+    // 100 observations, all in bucket 3 = [4, 8): interpolation walks the
+    // bucket linearly with rank.
+    for (int i = 0; i < 100; ++i) reg.observe(h, 5.0);
+    EXPECT_DOUBLE_EQ(reg.histPercentile(h, 0.50), 6.0);
+    EXPECT_DOUBLE_EQ(reg.histPercentile(h, 1.00), 8.0);
+    EXPECT_DOUBLE_EQ(reg.histPercentile(h, 0.0), 4.0 + 4.0 / 100.0);
+}
+
+TEST(MetricRegistryTest, HistPercentileSpansBuckets)
+{
+    MetricRegistry reg;
+    MetricId h = reg.histogram("h");
+    // 90 small observations in bucket 0 ([0,1)) and 10 in bucket 5
+    // ([16,32)): p50 stays in the low bucket, p99 lands in the tail.
+    for (int i = 0; i < 90; ++i) reg.observe(h, 0.5);
+    for (int i = 0; i < 10; ++i) reg.observe(h, 20.0);
+    EXPECT_DOUBLE_EQ(reg.histPercentile(h, 0.50), 50.0 / 90.0);
+    EXPECT_DOUBLE_EQ(reg.histPercentile(h, 0.90), 1.0);
+    EXPECT_DOUBLE_EQ(reg.histPercentile(h, 0.99),
+                     16.0 + 16.0 * (99.0 - 90.0) / 10.0);
+    // Percentiles are monotone in q.
+    double last = 0.0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        double p = reg.histPercentile(h, q);
+        EXPECT_GE(p, last);
+        last = p;
+    }
 }
 
 TEST(MetricRegistryTest, InstallNestsAndRestores)

@@ -139,6 +139,74 @@ TEST(TraceExportTest, FileExtensionSelectsFormat)
     std::filesystem::remove_all(dir);
 }
 
+TEST(TraceExportTest, WrappedRingExportsOldestFirst)
+{
+    // Regression guard for the ring-wrap export order: fill well past
+    // capacity and verify the export starts at the oldest *retained*
+    // event (emitted - capacity), not at ring slot 0, and stays in
+    // emission order throughout.
+    constexpr std::size_t kCapacity = 8;
+    constexpr std::uint64_t kEmitted = 3 * kCapacity + 5; // 29: mid-slot
+    TraceBuffer buf(kCapacity);
+    for (std::uint64_t i = 0; i < kEmitted; ++i)
+        buf.emit(Time::fromNanos(static_cast<std::int64_t>(1000 + i)),
+                 TraceCategory::Queue, TraceCode::QueueFire, 1,
+                 /*leaseId=*/i);
+    ASSERT_EQ(buf.size(), kCapacity);
+    EXPECT_EQ(buf.emitted(), kEmitted);
+    EXPECT_EQ(buf.dropped(), kEmitted - kCapacity);
+
+    std::ostringstream os;
+    writeJsonLines(buf, os);
+    std::vector<std::string> lines;
+    std::istringstream is(os.str());
+    for (std::string line; std::getline(is, line);) lines.push_back(line);
+    ASSERT_EQ(lines.size(), kCapacity);
+    for (std::size_t i = 0; i < kCapacity; ++i) {
+        const std::uint64_t expected = kEmitted - kCapacity + i;
+        EXPECT_EQ(static_cast<std::uint64_t>(numField(lines[i], "lease")),
+                  expected)
+            << "line " << i << ": " << lines[i];
+        EXPECT_EQ(numField(lines[i], "t"),
+                  static_cast<long long>(1000 + expected));
+    }
+
+    // Exactly-full (emitted == capacity) is the wrap boundary: slot 0
+    // still holds the oldest event.
+    TraceBuffer exact(kCapacity);
+    for (std::uint64_t i = 0; i < kCapacity; ++i)
+        exact.emit(Time::fromNanos(static_cast<std::int64_t>(i)),
+                   TraceCategory::Queue, TraceCode::QueueFire, 1, i);
+    EXPECT_EQ(exact.dropped(), 0u);
+    EXPECT_EQ(exact.event(0).leaseId, 0u);
+    EXPECT_EQ(exact.event(kCapacity - 1).leaseId, kCapacity - 1);
+    // One more emission drops exactly event 0.
+    exact.emit(Time::fromNanos(static_cast<std::int64_t>(kCapacity)),
+               TraceCategory::Queue, TraceCode::QueueFire, 1, kCapacity);
+    EXPECT_EQ(exact.dropped(), 1u);
+    EXPECT_EQ(exact.event(0).leaseId, 1u);
+}
+
+TEST(TraceExportTest, ChromeTsFormatsFirstMillisecondEvents)
+{
+    // ts is microseconds with the nanosecond remainder in a zero-padded
+    // 3-digit fraction; events inside the first millisecond (and first
+    // microsecond) must not lose their leading zeros.
+    TraceBuffer buf(8);
+    buf.emit(Time::fromNanos(5), TraceCategory::Lease,
+             TraceCode::LeaseCreated, 1, 1);      // 0.005 us
+    buf.emit(Time::fromNanos(980), TraceCategory::Lease,
+             TraceCode::LeaseToInactive, 1, 1);   // 0.980 us
+    buf.emit(Time::fromNanos(12'345), TraceCategory::Lease,
+             TraceCode::LeaseToActive, 1, 1);     // 12.345 us
+    std::ostringstream os;
+    writeChromeTrace(buf, os);
+    std::string doc = os.str();
+    EXPECT_NE(doc.find("\"ts\":0.005"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"ts\":0.980"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"ts\":12.345"), std::string::npos) << doc;
+}
+
 TEST(TraceExportTest, EmptyBufferExportsEmptyDocuments)
 {
     TraceBuffer buf(4);

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <unistd.h>
 
 #include "leaselint/baseline.h"
@@ -1107,6 +1108,23 @@ TEST(Driver, WholeRepoIsCleanWithJustifiedSuppressions)
         ADD_FAILURE() << formatFinding(f);
     EXPECT_GT(report.filesScanned, 100u);
     EXPECT_GT(report.suppressed, 0u);
+}
+
+TEST(Rules, RulesDocInSync)
+{
+    // The committed rule-inventory doc is generated from allRules();
+    // this gate keeps it from drifting. Regenerate with:
+    //   ./build/tools/leaselint/leaselint --rules-doc \
+    //     > tools/leaselint/RULES.md
+    std::filesystem::path doc = std::filesystem::path(
+        LEASELINT_TEST_REPO_ROOT) / "tools" / "leaselint" / "RULES.md";
+    std::ifstream in(doc, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing " << doc;
+    std::ostringstream committed;
+    committed << in.rdbuf();
+    EXPECT_EQ(committed.str(), renderRulesMarkdown())
+        << "tools/leaselint/RULES.md is out of sync with allRules(); "
+           "regenerate it with `leaselint --rules-doc`";
 }
 
 TEST(Driver, WholeRepoIsCleanPerNewRule)

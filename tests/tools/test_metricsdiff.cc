@@ -1,0 +1,179 @@
+/**
+ * @file
+ * metricsdiff tests: the CI perf-gate semantics. Identical documents
+ * pass; drift within tolerance passes but is reported; drift beyond
+ * tolerance gates; missing rows/metrics gate (baseline must be
+ * refreshed by a human); report-only metrics never gate no matter how
+ * far they move; and the verdict JSON is machine-readable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "metricsdiff/metricsdiff.h"
+#include "support/minijson.h"
+
+namespace leaseos::metricsdiff {
+namespace {
+
+minijson::Value
+parse(const std::string &text)
+{
+    minijson::ParseResult parsed = minijson::parse(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    return parsed.value;
+}
+
+const char *kBench =
+    "{\"bench\":\"eventqueue\",\"caption\":\"x\",\"rows\":["
+    "{\"workload\":\"steady\",\"ops\":2000000,\"ns_per_op\":41.0,"
+    "\"allocs_per_op\":0},"
+    "{\"workload\":\"burst\",\"ops\":2000000,\"ns_per_op\":55.0,"
+    "\"allocs_per_op\":0}]}";
+
+TEST(MetricsDiffTest, IdenticalDocumentsPass)
+{
+    minijson::Value doc = parse(kBench);
+    DiffReport report = diffDocuments(doc, doc, Options{});
+    ASSERT_TRUE(report.ok()) << report.error;
+    EXPECT_TRUE(report.pass);
+    EXPECT_EQ(report.rowsCompared, 2u);
+    EXPECT_EQ(report.metricsCompared, 6u); // 3 numeric columns x 2 rows
+    EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(MetricsDiffTest, DriftWithinToleranceIsReportedNotGating)
+{
+    minijson::Value a = parse(kBench);
+    minijson::Value b = parse(
+        "{\"bench\":\"eventqueue\",\"caption\":\"x\",\"rows\":["
+        "{\"workload\":\"steady\",\"ops\":2000000,\"ns_per_op\":43.0,"
+        "\"allocs_per_op\":0},"
+        "{\"workload\":\"burst\",\"ops\":2000000,\"ns_per_op\":55.0,"
+        "\"allocs_per_op\":0}]}");
+    Options options;
+    options.relTol["ns_per_op"] = 0.10; // 43 vs 41: ~4.7 % drift
+    DiffReport report = diffDocuments(a, b, options);
+    EXPECT_TRUE(report.pass);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].kind, "drift");
+    EXPECT_EQ(report.findings[0].row, "steady");
+    EXPECT_EQ(report.findings[0].metric, "ns_per_op");
+    EXPECT_FALSE(report.findings[0].gating);
+    EXPECT_NEAR(report.findings[0].relErr, 2.0 / 43.0, 1e-12);
+}
+
+TEST(MetricsDiffTest, OutOfToleranceGates)
+{
+    minijson::Value a = parse("{\"allocs_per_op\":0,\"ns_per_op\":41.0}");
+    minijson::Value b = parse("{\"allocs_per_op\":2,\"ns_per_op\":41.0}");
+    DiffReport report = diffDocuments(a, b, Options{});
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report.pass);
+    ASSERT_GE(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].kind, "out-of-tolerance");
+    EXPECT_EQ(report.findings[0].metric, "allocs_per_op");
+    EXPECT_TRUE(report.findings[0].gating);
+    EXPECT_DOUBLE_EQ(report.findings[0].relErr, 1.0); // 0 vs 2
+}
+
+TEST(MetricsDiffTest, ReportOnlyMetricsNeverGate)
+{
+    minijson::Value a = parse("{\"allocs_per_op\":0,\"ns_per_op\":41.0}");
+    minijson::Value b = parse("{\"allocs_per_op\":0,\"ns_per_op\":400.0}");
+    Options options;
+    options.reportOnly.insert("ns_per_op");
+    DiffReport report = diffDocuments(a, b, options);
+    EXPECT_TRUE(report.pass);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].metric, "ns_per_op");
+    EXPECT_FALSE(report.findings[0].gating);
+}
+
+TEST(MetricsDiffTest, MissingMetricAndRowGate)
+{
+    minijson::Value a = parse(kBench);
+    // Row "burst" gone, and "steady" lost its allocs_per_op column.
+    minijson::Value b = parse(
+        "{\"bench\":\"eventqueue\",\"caption\":\"x\",\"rows\":["
+        "{\"workload\":\"steady\",\"ops\":2000000,\"ns_per_op\":41.0}]}");
+    DiffReport report = diffDocuments(a, b, Options{});
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report.pass);
+    bool sawMissingRow = false, sawMissingMetric = false;
+    for (const Finding &f : report.findings) {
+        if (f.kind == "missing-row" && f.row == "burst")
+            sawMissingRow = true;
+        if (f.kind == "missing-metric" && f.metric == "allocs_per_op")
+            sawMissingMetric = true;
+        EXPECT_TRUE(f.gating) << f.toString();
+    }
+    EXPECT_TRUE(sawMissingRow);
+    EXPECT_TRUE(sawMissingMetric);
+}
+
+TEST(MetricsDiffTest, FlightRecordMetricsObjectIsOneRow)
+{
+    minijson::Value a = parse(
+        "{\"flightrec\":1,\"metrics\":{\"proxy.grants\":7,"
+        "\"lease.deferral_seconds.p50\":25.0}}");
+    minijson::Value b = parse(
+        "{\"flightrec\":1,\"metrics\":{\"proxy.grants\":7,"
+        "\"lease.deferral_seconds.p50\":26.0}}");
+    Options options;
+    options.relTol["lease.deferral_seconds.p50"] = 0.10;
+    DiffReport report = diffDocuments(a, b, options);
+    ASSERT_TRUE(report.ok()) << report.error;
+    EXPECT_TRUE(report.pass);
+    EXPECT_EQ(report.rowsCompared, 1u);
+    EXPECT_EQ(report.metricsCompared, 2u);
+}
+
+TEST(MetricsDiffTest, GatingFindingsSortFirst)
+{
+    minijson::Value a =
+        parse("{\"aa_drift\":100.0,\"zz_gate\":1.0}");
+    minijson::Value b =
+        parse("{\"aa_drift\":101.0,\"zz_gate\":2.0}");
+    Options options;
+    options.relTol["aa_drift"] = 0.05;
+    DiffReport report = diffDocuments(a, b, options);
+    ASSERT_EQ(report.findings.size(), 2u);
+    EXPECT_TRUE(report.findings[0].gating);
+    EXPECT_EQ(report.findings[0].metric, "zz_gate");
+    EXPECT_FALSE(report.findings[1].gating);
+}
+
+TEST(MetricsDiffTest, VerdictJsonIsMachineReadable)
+{
+    minijson::Value a = parse("{\"allocs_per_op\":0}");
+    minijson::Value b = parse("{\"allocs_per_op\":3}");
+    DiffReport report = diffDocuments(a, b, Options{});
+    std::string verdict = renderVerdictJson(report, "a.json", "b.json");
+    minijson::ParseResult parsed = minijson::parse(verdict);
+    ASSERT_TRUE(parsed.ok()) << parsed.error << "\n" << verdict;
+    const minijson::Value *outcome = parsed.value.find("verdict");
+    ASSERT_NE(outcome, nullptr);
+    EXPECT_EQ(outcome->asString(), "fail");
+    EXPECT_EQ(parsed.value.find("a")->asString(), "a.json");
+    const minijson::Value *findings = parsed.value.find("findings");
+    ASSERT_NE(findings, nullptr);
+    ASSERT_TRUE(findings->isArray());
+    ASSERT_EQ(findings->array.size(), 1u);
+    EXPECT_EQ(findings->array[0].find("metric")->asString(),
+              "allocs_per_op");
+    EXPECT_EQ(findings->array[0].find("kind")->asString(),
+              "out-of-tolerance");
+}
+
+TEST(MetricsDiffTest, LoadErrorsSurfaceAsExitTwoShape)
+{
+    DiffReport report =
+        diffFiles("/nonexistent/a.json", "/nonexistent/b.json", Options{});
+    EXPECT_FALSE(report.ok());
+    EXPECT_FALSE(report.error.empty());
+}
+
+} // namespace
+} // namespace leaseos::metricsdiff

@@ -5,7 +5,8 @@
  * Usage:
  *   leaselint [--root DIR] [--rule NAME]... [--jobs N] [--cache-dir DIR]
  *             [--baseline FILE] [--diff-baseline] [--write-baseline FILE]
- *             [--sarif OUT] [--stats] [--list-rules] [PATH...]
+ *             [--sarif OUT] [--stats] [--list-rules] [--rules-doc]
+ *             [PATH...]
  *
  * PATHs are root-relative files or directories (default: src bench
  * examples tools tests). Exits 1 when any unsuppressed finding remains,
@@ -72,6 +73,9 @@ main(int argc, char **argv)
         } else if (arg == "--list-rules") {
             for (const auto &rule : leaselint::allRules())
                 std::cout << rule.name << ": " << rule.description << "\n";
+            return 0;
+        } else if (arg == "--rules-doc") {
+            std::cout << leaselint::renderRulesMarkdown();
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             std::cout

@@ -50,6 +50,8 @@ namespace leaselint {
 struct RuleInfo {
     const char *name;
     const char *description;
+    /** true: pass-2 link rule (whole repo); false: pass-1 per-file. */
+    bool link = false;
 };
 
 /** Every built-in rule, in report order. */
@@ -57,6 +59,14 @@ const std::vector<RuleInfo> &allRules();
 
 /** True if @p name names a built-in rule. */
 bool isKnownRule(const std::string &name);
+
+/**
+ * The committed rule-inventory doc (tools/leaselint/RULES.md), rendered
+ * from allRules(). `leaselint --rules-doc` prints it; test_leaselint
+ * gates that the committed file matches, so the doc can never drift from
+ * the inventory.
+ */
+std::string renderRulesMarkdown();
 
 // ---- per-file rules (pass 1; findings are cached) -----------------------
 

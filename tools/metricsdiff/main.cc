@@ -1,0 +1,109 @@
+/**
+ * metricsdiff CLI — cross-run metrics comparison with tolerances
+ * (DESIGN.md §10).
+ *
+ *   metricsdiff A.json B.json [options]
+ *     --default-rel-tol X     tolerance for unlisted metrics (default 0)
+ *     --rel-tol NAME=X        per-metric relative tolerance
+ *     --report-only NAME      compare + report NAME but never gate on it
+ *     --key COL               row-key column (default: first string cell)
+ *     --json OUT              write the machine-readable verdict to OUT
+ *
+ * Exit status: 0 pass, 1 gating differences, 2 usage or load error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "metricsdiff/metricsdiff.h"
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: metricsdiff A.json B.json [--default-rel-tol X]\n"
+                 "       [--rel-tol NAME=X]... [--report-only NAME]...\n"
+                 "       [--key COL] [--json OUT]\n");
+    return 2;
+}
+
+bool
+parseDouble(const char *text, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(text, &end);
+    return end && end != text && *end == '\0';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace leaseos::metricsdiff;
+    Options options;
+    std::vector<std::string> paths;
+    std::string jsonOut;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (std::strcmp(arg, "--default-rel-tol") == 0) {
+            const char *value = next();
+            if (!value || !parseDouble(value, options.defaultRelTol))
+                return usage();
+        } else if (std::strcmp(arg, "--rel-tol") == 0) {
+            const char *value = next();
+            const char *eq = value ? std::strchr(value, '=') : nullptr;
+            double tol = 0.0;
+            if (!eq || !parseDouble(eq + 1, tol)) return usage();
+            options.relTol[std::string(value, eq)] = tol;
+        } else if (std::strcmp(arg, "--report-only") == 0) {
+            const char *value = next();
+            if (!value) return usage();
+            options.reportOnly.insert(value);
+        } else if (std::strcmp(arg, "--key") == 0) {
+            const char *value = next();
+            if (!value) return usage();
+            options.keyColumn = value;
+        } else if (std::strcmp(arg, "--json") == 0) {
+            const char *value = next();
+            if (!value) return usage();
+            jsonOut = value;
+        } else if (arg[0] == '-') {
+            return usage();
+        } else {
+            paths.emplace_back(arg);
+        }
+    }
+    if (paths.size() != 2) return usage();
+
+    DiffReport report = diffFiles(paths[0], paths[1], options);
+
+    if (!jsonOut.empty()) {
+        std::ofstream out(jsonOut, std::ios::binary);
+        out << renderVerdictJson(report, paths[0], paths[1]);
+        if (!out.good())
+            std::fprintf(stderr, "metricsdiff: cannot write %s\n",
+                         jsonOut.c_str());
+    }
+
+    if (!report.ok()) {
+        std::fprintf(stderr, "metricsdiff: %s\n", report.error.c_str());
+        return 2;
+    }
+    for (const Finding &finding : report.findings)
+        std::printf("%s\n", finding.toString().c_str());
+    std::printf("%s: %zu rows, %zu metrics compared, %zu findings\n",
+                report.pass ? "PASS" : "FAIL", report.rowsCompared,
+                report.metricsCompared, report.findings.size());
+    return report.pass ? 0 : 1;
+}

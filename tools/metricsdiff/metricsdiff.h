@@ -1,0 +1,94 @@
+#ifndef LEASEOS_TOOLS_METRICSDIFF_METRICSDIFF_H
+#define LEASEOS_TOOLS_METRICSDIFF_METRICSDIFF_H
+
+/**
+ * @file
+ * metricsdiff — the cross-run metrics differ (DESIGN.md §10). Compares
+ * two metric documents with per-metric relative tolerances and produces
+ * a machine-readable verdict; CI's perf-bench job gates on it instead of
+ * ad-hoc inline scripts.
+ *
+ * Accepted document shapes (auto-detected):
+ *  - result_sink JsonSink: `{"bench": ..., "rows": [{...}, ...]}` — rows
+ *    are keyed by the first string-valued cell (or --key), each numeric
+ *    cell is one comparable metric;
+ *  - flight record / metrics snapshot: `{..., "metrics": {name: value}}`
+ *    — one implicit row;
+ *  - a bare `{name: value}` object of numbers.
+ *
+ * Comparison semantics per metric:
+ *  - relative error = |a-b| / max(|a|,|b|); both-zero compares equal;
+ *  - a metric listed report-only never gates, whatever its drift;
+ *  - otherwise the metric gates when its relative error exceeds its
+ *    tolerance (per-metric --rel-tol NAME=X, else --default-rel-tol);
+ *  - rows or metrics present on one side only gate as missing (the
+ *    schema changed — a human must refresh the baseline);
+ *  - sub-tolerance drift is reported as informational, never gating.
+ *
+ * The exit contract mirrors tracereplay: 0 pass, 1 gating differences,
+ * 2 usage/load error.
+ */
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace leaseos::minijson {
+struct Value;
+} // namespace leaseos::minijson
+
+namespace leaseos::metricsdiff {
+
+struct Options {
+    /** Tolerance for metrics without a per-metric override. */
+    double defaultRelTol = 0.0;
+    /** Per-metric relative tolerance (metric name, not row-qualified). */
+    std::map<std::string, double> relTol;
+    /** Metrics compared and reported but never gating (e.g. ns_per_op). */
+    std::set<std::string> reportOnly;
+    /** Row-key column; "" = first string-valued cell of the first row. */
+    std::string keyColumn;
+};
+
+struct Finding {
+    std::string row;    ///< row key ("" for single-row documents)
+    std::string metric; ///< metric/column name
+    /** "missing-row" | "missing-metric" | "out-of-tolerance" | "drift"
+     *  | "text-mismatch" */
+    std::string kind;
+    double a = 0.0, b = 0.0;
+    double relErr = 0.0;
+    double tolerance = 0.0;
+    bool gating = false;
+
+    std::string toString() const;
+};
+
+struct DiffReport {
+    bool pass = true;            ///< no gating findings
+    std::string error;           ///< load/shape error (exit 2)
+    std::size_t rowsCompared = 0;
+    std::size_t metricsCompared = 0;
+    std::vector<Finding> findings; ///< gating first, then informational
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Diff two parsed documents. */
+DiffReport diffDocuments(const minijson::Value &a, const minijson::Value &b,
+                         const Options &options);
+
+/** Load both files and diff them; IO/parse errors land in .error. */
+DiffReport diffFiles(const std::string &pathA, const std::string &pathB,
+                     const Options &options);
+
+/** Machine-readable verdict document for CI artifacts. */
+std::string renderVerdictJson(const DiffReport &report,
+                              const std::string &pathA,
+                              const std::string &pathB);
+
+} // namespace leaseos::metricsdiff
+
+#endif // LEASEOS_TOOLS_METRICSDIFF_METRICSDIFF_H

@@ -16,21 +16,34 @@
  * BENCH_fleet.json.
  *
  * Flags: --devices=N (1..500, default 100), --minutes=M (virtual minutes
- * per device, default 30), --jobs=N / -j N (worker pool, default
- * automatic), --trace=PATH (export the first LeaseOS device's trace ring;
- * needs a -DLEASEOS_TRACING=ON build). CI smoke runs `--devices=50
- * --minutes=5`.
+ * per device, up to a week = 10080, default 30), --shard-minutes=S (cut
+ * each device's timeline into ceil(M/S) time slices executed on the
+ * ShardedRunner with a checkpoint emitted every S virtual minutes —
+ * results are bit-identical to the unsharded run), --jobs=N / -j N
+ * (worker pool, default automatic), --trace=PATH (export the first
+ * LeaseOS device's trace ring; needs a -DLEASEOS_TRACING=ON build). CI
+ * smoke runs `--devices=50 --minutes=5`; the sharded smoke adds
+ * `--shard-minutes=10`.
+ *
+ * Runs of 12 h or longer coarsen the power-profiler sampling period from
+ * 100 ms to 10 s so a week-long fleet's TimeSeries memory stays bounded;
+ * they also switch the glance script to an hour-granular diurnal cycle
+ * (cadence follows the device's phase-shifted local time of day) instead
+ * of a fixed cadence.
  *
  * Every device runs with a MetricRegistry installed; per-device metric
- * rollups ride in the JSON artifact (stdout keeps the aggregate table).
+ * rollups ride in the JSON artifact (stdout keeps the aggregate table);
+ * sharded runs add per-mode checkpoint-size rows.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +51,7 @@
 #include "harness/experiment.h"
 #include "harness/result_sink.h"
 #include "harness/runner.h"
+#include "harness/sharded_runner.h"
 #include "support/alloc_counter.h"
 
 using namespace leaseos;
@@ -62,7 +76,8 @@ usageError(const char *flag)
     std::fprintf(stderr,
                  "bench_fleet: bad value for %s\n"
                  "usage: bench_fleet [--devices=N (1..500)] "
-                 "[--minutes=M (>=1)] [--jobs=N | -j N]\n",
+                 "[--minutes=M (1..10080)] [--shard-minutes=S] "
+                 "[--jobs=N | -j N]\n",
                  flag);
     std::exit(2);
 }
@@ -78,29 +93,73 @@ parseValue(const char *text, const char *flag, long lo, long hi)
     return v;
 }
 
+/** Glance cadence for local hour-of-day @p local (0..23): daytime
+ *  phases glance often with long looks, nighttime rarely and briefly. */
+void
+glanceCadence(int local, long &intervalSec, long &lengthSec)
+{
+    bool day = local >= 7 && local < 23;
+    intervalSec = day ? 30 + 10 * (local % 5)   // 30..70 s
+                      : 180 + 60 * (local % 4); // 3..6 min
+    lengthSec = day ? 8 + local % 7 : 3;        // 8..14 s vs 3 s
+}
+
 /**
- * Per-device diurnal glance cadence. Device i is pinned to a "time of
- * day" phase; daytime phases glance often with long looks, nighttime
- * phases rarely and briefly. Deterministic in i — no wall clock.
+ * Per-device diurnal glance cadence for short runs. Device i is pinned
+ * to a "time of day" phase; deterministic in i — no wall clock.
  */
 void
 diurnalGlances(harness::RunSpec &spec, int i)
 {
-    int phase = i % 24; // hour-of-day this device's trace is centred on
-    bool day = phase >= 7 && phase < 23;
-    long interval = day ? 30 + 10 * (phase % 5)  // 30..70 s
-                        : 180 + 60 * (phase % 4); // 3..6 min
-    long length = day ? 8 + phase % 7 : 3;        // 8..14 s vs 3 s
+    long interval = 0;
+    long length = 0;
+    glanceCadence(i % 24, interval, length);
     spec.userGlances = true;
     spec.glanceInterval = sim::Time::fromSeconds(
         static_cast<double>(interval));
     spec.glanceLength = sim::Time::fromSeconds(static_cast<double>(length));
 }
 
+/**
+ * Hour-granular diurnal cycle for day/week-long runs: the glance script
+ * is re-tuned every simulated hour to the cadence of the device's local
+ * time of day (virtual hour + per-device phase shift, mod 24). Installed
+ * as a postStart hook so it composes with sharded execution — all state
+ * lives in simulator events, which migrate with the device.
+ */
+void
+installWeekScript(harness::Device &d, int phase)
+{
+    struct Cycle {
+        sim::PeriodicHandle glances;
+        sim::PeriodicHandle retune;
+    };
+    auto cycle = std::make_shared<Cycle>();
+    auto tune = [&d, cycle, phase] {
+        int hour =
+            static_cast<int>(d.simulator().now().seconds() / 3600.0);
+        long interval = 0;
+        long length = 0;
+        glanceCadence((phase + hour) % 24, interval, length);
+        cycle->glances = harness::installGlanceScript(
+            d, sim::Time::fromSeconds(static_cast<double>(interval)),
+            sim::Time::fromSeconds(static_cast<double>(length)));
+    };
+    tune();
+    cycle->retune = d.simulator().schedulePeriodicScoped(
+        sim::Time::fromMinutes(60.0), tune);
+}
+
 struct ModeAgg {
     double powerSum = 0.0;
     double eventsSum = 0.0;
     int n = 0;
+};
+
+struct CheckpointAgg {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t maxBytes = 0;
 };
 
 } // namespace
@@ -110,15 +169,22 @@ main(int argc, char **argv)
 {
     long devices = 100;
     long minutes = 30;
+    long shardMinutes = 0; // 0 = unsharded ParallelRunner
     std::string tracePath;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--devices=", 10) == 0)
             devices = parseValue(argv[i] + 10, "--devices", 1, 500);
         else if (std::strncmp(argv[i], "--minutes=", 10) == 0)
-            minutes = parseValue(argv[i] + 10, "--minutes", 1, 24 * 60);
+            minutes = parseValue(argv[i] + 10, "--minutes", 1, 7 * 24 * 60);
+        else if (std::strncmp(argv[i], "--shard-minutes=", 16) == 0)
+            shardMinutes = parseValue(argv[i] + 16, "--shard-minutes", 1,
+                                      7 * 24 * 60);
         else if (std::strncmp(argv[i], "--trace=", 8) == 0)
             tracePath = argv[i] + 8;
     }
+    // Long runs: coarsen profiler sampling (bounded TimeSeries memory
+    // over a week) and switch to the hour-granular diurnal cycle.
+    const bool longRun = minutes >= 12 * 60;
 
     const auto &corpus = apps::table5Specs();
     const MitigationMode modes[] = {MitigationMode::None,
@@ -137,7 +203,21 @@ main(int argc, char **argv)
         opt.duration = sim::Time::fromMinutes(static_cast<double>(minutes));
         harness::RunSpec spec = mitigationCellSpec(app, mode, opt);
         spec.name = "dev" + std::to_string(i) + " " + spec.name;
-        diurnalGlances(spec, static_cast<int>(i));
+        if (longRun) {
+            spec.config.profilerPeriod = sim::Time::fromSeconds(10.0);
+            int phase = static_cast<int>(i) % 24;
+            spec.postStart.push_back([phase](harness::Device &d) {
+                installWeekScript(d, phase);
+            });
+        } else {
+            diurnalGlances(spec, static_cast<int>(i));
+        }
+        if (shardMinutes > 0) {
+            spec.shards = static_cast<int>((minutes + shardMinutes - 1) /
+                                           shardMinutes);
+            spec.checkpointEvery =
+                sim::Time::fromMinutes(static_cast<double>(shardMinutes));
+        }
         spec.probes.emplace_back("events", [](harness::Device &d) {
             return static_cast<double>(d.simulator().executedEvents());
         });
@@ -150,22 +230,53 @@ main(int argc, char **argv)
     harness::RunnerOptions options =
         harness::ParallelRunner::parseArgs(argc, argv);
     options.baseSeed = 0xf1ee7ULL;
-    harness::ParallelRunner runner(options);
-    std::fprintf(stderr, "[fleet] %ld devices x %ld min on %d worker(s)\n",
-                 devices, minutes, runner.jobs());
-
-    std::int64_t t0 = nowNanos();
-    std::uint64_t allocs0 = benchsupport::allocCount();
-    auto results = runner.run(specs);
+    int jobs = 0;
+    std::int64_t t0 = 0;
+    std::uint64_t allocs0 = 0;
+    std::vector<harness::RunResult> results;
+    if (shardMinutes > 0) {
+        harness::ShardedRunner runner(options);
+        jobs = runner.jobs();
+        std::fprintf(stderr,
+                     "[fleet] %ld devices x %ld min on %d worker(s), "
+                     "%ld-min time slices\n",
+                     devices, minutes, jobs, shardMinutes);
+        t0 = nowNanos();
+        allocs0 = benchsupport::allocCount();
+        results = runner.run(specs);
+    } else {
+        harness::ParallelRunner runner(options);
+        jobs = runner.jobs();
+        std::fprintf(stderr,
+                     "[fleet] %ld devices x %ld min on %d worker(s)\n",
+                     devices, minutes, jobs);
+        t0 = nowNanos();
+        allocs0 = benchsupport::allocCount();
+        results = runner.run(specs);
+    }
     std::uint64_t allocs = benchsupport::allocCount() - allocs0;
     double wallSec = static_cast<double>(nowNanos() - t0) / 1e9;
 
-    // Aggregate per mode and per (behaviour class, mode).
+    // Aggregate per mode and per (behaviour class, mode). The per-mode
+    // split relies on result i being device i (vanilla on even indices,
+    // LeaseOS on odd): both runners guarantee spec-order collection for
+    // any --jobs, and the name/specIndex check pins that contract — a
+    // reordering would silently swap the modes in every fleet number.
     std::map<std::string, ModeAgg> perMode;
     std::map<std::string, ModeAgg> perBehavior; // key "LHB/None" etc.
+    std::map<std::string, CheckpointAgg> perModeCkpt;
     double totalEvents = 0.0;
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto &r = results[i];
+        const std::string prefix = "dev" + std::to_string(i) + " ";
+        if (r.specIndex != i ||
+            r.name.compare(0, prefix.size(), prefix) != 0) {
+            std::fprintf(stderr,
+                         "bench_fleet: result %zu is '%s' (specIndex "
+                         "%zu) — runner broke spec-order collection\n",
+                         i, r.name.c_str(), r.specIndex);
+            return 1;
+        }
         const auto &app = corpus[i % corpus.size()];
         const char *mode = (i % 2 == 0) ? "None" : "LeaseOS";
         double events = r.probe("events");
@@ -177,6 +288,12 @@ main(int argc, char **argv)
         auto &b = perBehavior[app.behavior + std::string("/") + mode];
         b.powerSum += r.appPowerMw;
         ++b.n;
+        auto &c = perModeCkpt[mode];
+        for (const auto &ckpt : r.checkpoints) {
+            ++c.count;
+            c.bytes += ckpt.sizeBytes;
+            c.maxBytes = std::max(c.maxBytes, ckpt.sizeBytes);
+        }
     }
 
     harness::TextTableSink table;
@@ -237,6 +354,22 @@ main(int argc, char **argv)
          {"allocs_per_event",
           ResultSink::Value::num(
               static_cast<double>(allocs) / totalEvents, 4)}});
+    // Checkpoint-size stats (sharded runs only) — JSON artifact, one row
+    // per mode; the perf-bench CI job uploads these.
+    for (const auto &[mode, c] : perModeCkpt) {
+        if (c.count == 0) continue;
+        json.addRow(
+            {{"group", ResultSink::Value::str("checkpoints")},
+             {"mode", ResultSink::Value::str(mode)},
+             {"count", ResultSink::Value::count(
+                           static_cast<std::int64_t>(c.count))},
+             {"mean_bytes",
+              ResultSink::Value::num(static_cast<double>(c.bytes) /
+                                         static_cast<double>(c.count),
+                                     1)},
+             {"max_bytes", ResultSink::Value::count(
+                               static_cast<std::int64_t>(c.maxBytes))}});
+    }
     // Per-device MetricRegistry rollups — JSON artifact only, one row per
     // device, every registered metric flattened to a key. The stdout
     // table stays the aggregate view.
@@ -252,7 +385,7 @@ main(int argc, char **argv)
     sink.finish();
     std::printf("\nSimulated %.0f events in %.2f s wall — %.0f events/s "
                 "across %d worker(s); %.4f heap allocs/event.\n",
-                totalEvents, wallSec, totalEvents / wallSec, runner.jobs(),
+                totalEvents, wallSec, totalEvents / wallSec, jobs,
                 static_cast<double>(allocs) / totalEvents);
     return 0;
 }

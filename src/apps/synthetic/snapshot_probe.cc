@@ -1,0 +1,67 @@
+#include "apps/synthetic/snapshot_probe.h"
+
+#include "sim/checkpoint.h"
+
+namespace leaseos::apps {
+
+SnapshotProbeApp::~SnapshotProbeApp()
+{
+    ctx_.sim.cancel(pending_);
+}
+
+void
+SnapshotProbeApp::start()
+{
+    running_ = true;
+    nextDueAt_ = ctx_.sim.now() + period_;
+    arm();
+}
+
+void
+SnapshotProbeApp::arm()
+{
+    // Directly on the simulator: a process_.post continuation would park
+    // as a CPU wake waiter whenever the device is asleep, making every
+    // boundary non-quiescent. The raw event fires regardless of CPU state
+    // and is fully described by nextDueAt_.
+    pending_ = ctx_.sim.scheduleAt(nextDueAt_, [this] { tick(); });
+}
+
+void
+SnapshotProbeApp::tick()
+{
+    if (!running_) return;
+    ++ticks_;
+    nextDueAt_ = ctx_.sim.now() + period_;
+    arm();
+}
+
+void
+SnapshotProbeApp::saveState(sim::CheckpointWriter &w) const
+{
+    w.time(period_);
+    w.u64(ticks_);
+    w.u8(running_ ? 1 : 0);
+    w.time(nextDueAt_);
+}
+
+void
+SnapshotProbeApp::restoreState(sim::CheckpointReader &r)
+{
+    sim::Time period = r.time();
+    if (period != period_) {
+        throw sim::CheckpointError(
+            "snapshot probe period differs from the blob's");
+    }
+    ticks_ = r.u64();
+    bool wasRunning = r.u8() != 0;
+    nextDueAt_ = r.time();
+    if (wasRunning && !running_) {
+        // Restoring onto a not-yet-started device: adopt the serialized
+        // deadline instead of starting a fresh cycle.
+        running_ = true;
+        arm();
+    }
+}
+
+} // namespace leaseos::apps

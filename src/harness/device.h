@@ -18,8 +18,11 @@
 #include <utility>
 #include <vector>
 
+#include <cstdint>
+
 #include "analysis/invariants.h"
 #include "app/app.h"
+#include "sim/checkpoint.h"
 #include "obs/flight_recorder.h"
 #include "app/app_context.h"
 #include "env/gps_environment.h"
@@ -257,7 +260,43 @@ class Device
      */
     void auditInvariants(analysis::InvariantOracle &oracle);
 
+    // ---- Checkpointing (DESIGN.md §11) ----------------------------------
+
+    /**
+     * Serialize the whole device — simulator clock, RNG stream, every
+     * power model's integrals, lease service (LeaseOS mode), and app
+     * states — into one framed blob. Deterministic: equal device state
+     * yields byte-identical blobs, which is what the sharded-determinism
+     * CI gate diffs. Always succeeds; the quiescence requirements live on
+     * the restore side.
+     */
+    std::vector<std::uint8_t> saveCheckpoint() const;
+
+    /**
+     * Restore a blob from saveCheckpoint() onto a freshly built device
+     * with the same config and the same install<T>() sequence, *before*
+     * start() has been called. Components re-arm their recomputable
+     * deadlines (profiler tick, lease term/deferral expiries, app
+     * timers). Throws sim::CheckpointError if the blob is malformed,
+     * was taken on an incompatible device, or carries state only live
+     * handoff can preserve (in-flight CPU work, parked wake waiters, a
+     * mid-acquisition GPS fix, non-checkpointable apps).
+     */
+    void restoreCheckpoint(const std::vector<std::uint8_t> &blob);
+
+    /**
+     * Re-install this device's thread-local telemetry (flight recorder,
+     * checked-build oracle) on the calling thread. The constructor binds
+     * the constructing thread; the sharded runner calls this when a
+     * device migrates to another worker for its next time slice.
+     * unbindFromThread() must run on the old thread first.
+     */
+    void bindToThread();
+    void unbindFromThread();
+
   private:
+    void saveCheckpoint(sim::CheckpointWriter &w) const;
+    void restoreCheckpoint(sim::CheckpointReader &r);
     DeviceConfig config_;
     sim::Simulator sim_;
     sim::RandomSource rng_;

@@ -11,9 +11,7 @@
 #include <stdexcept>
 #include <thread>
 
-#include "obs/flight_recorder.h"
-#include "obs/metric_registry.h"
-#include "obs/trace_export.h"
+#include "harness/scenario_session.h"
 
 namespace leaseos::harness {
 
@@ -64,128 +62,15 @@ runScenario(const RunSpec &spec)
     return runScenario(spec, spec.config);
 }
 
-namespace {
-
-/**
- * Per-run telemetry scope: installs a MetricRegistry and/or TraceBuffer
- * on this thread before the Device is constructed (components cache
- * current() at construction) and uninstalls on scope exit, keeping
- * parallel sweeps isolated. RAII so a throwing scenario can't leak an
- * installed sink into the worker's next run.
- */
-class TelemetryScope
-{
-  public:
-    explicit TelemetryScope(const RunSpec &spec)
-    {
-        if (spec.collectMetrics || !spec.tracePath.empty()) {
-            registry_ = std::make_unique<obs::MetricRegistry>();
-            registry_->install();
-        }
-        if (!spec.tracePath.empty()) {
-            trace_ = std::make_unique<obs::TraceBuffer>(spec.traceCapacity);
-            trace_->install();
-#if !defined(LEASEOS_TRACING)
-            std::fprintf(stderr,
-                         "warning: %s: trace requested but hooks are "
-                         "compiled out; rebuild with -DLEASEOS_TRACING=ON "
-                         "for a populated trace\n",
-                         spec.name.empty() ? "run" : spec.name.c_str());
-#endif
-        }
-        if (!spec.flightRecordDir.empty()) {
-            // Installed last so the oracle's abort-path dump sees the
-            // registry and ring installed above. No per-event cost.
-            recorder_ = std::make_unique<obs::FlightRecorder>(
-                spec.flightRecordDir,
-                spec.name.empty() ? "run" : spec.name);
-            recorder_->install();
-        }
-    }
-
-    ~TelemetryScope()
-    {
-        if (recorder_) recorder_->uninstall();
-        if (trace_) trace_->uninstall();
-        if (registry_) registry_->uninstall();
-    }
-
-    TelemetryScope(const TelemetryScope &) = delete;
-    TelemetryScope &operator=(const TelemetryScope &) = delete;
-
-    /** Snapshot metrics / export the trace into @p result. */
-    void
-    finish(const RunSpec &spec, RunResult &result) const
-    {
-        if (registry_) result.metrics = registry_->snapshot();
-        if (trace_) {
-            result.traceEventsRetained = trace_->size();
-            result.traceEventsEmitted = trace_->emitted();
-            if (!obs::writeTraceFile(*trace_, spec.tracePath))
-                std::fprintf(stderr, "warning: cannot write trace %s\n",
-                             spec.tracePath.c_str());
-        }
-    }
-
-  private:
-    std::unique_ptr<obs::MetricRegistry> registry_;
-    std::unique_ptr<obs::TraceBuffer> trace_;
-    std::unique_ptr<obs::FlightRecorder> recorder_;
-};
-
-} // namespace
-
 RunResult
 runScenario(const RunSpec &spec, const DeviceConfig &config)
 {
-    TelemetryScope telemetry(spec);
-    Device device(config);
-
-    for (const auto &fn : spec.setup) fn(device);
-
-    std::vector<Uid> uids;
-    uids.reserve(spec.apps.size());
-    for (const auto &installFn : spec.apps)
-        uids.push_back(installFn(device).uid());
-
-    sim::PeriodicHandle glanceTick;
-    if (spec.userGlances)
-        glanceTick = installGlanceScript(device, spec.glanceInterval,
-                                         spec.glanceLength);
-
-    device.start();
-    for (const auto &fn : spec.postStart) fn(device);
-    device.runFor(spec.duration);
-
-    RunResult result;
-    result.name = spec.name;
-    result.seed = config.seed;
-    if (!uids.empty()) result.appPowerMw = device.appPowerMw(uids.front());
-    for (Uid uid : uids)
-        result.perAppPowerMw.push_back(device.appPowerMw(uid));
-    result.systemPowerMw = device.profiler().averageTotalPowerMw();
-
-    if (auto *leaseos = device.leaseos()) {
-        auto &mgr = leaseos->manager();
-        result.deferrals = mgr.totalDeferrals();
-        result.termChecks = mgr.termChecks();
-        result.leasesCreated = mgr.totalCreated();
-        for (lease::BehaviorType b :
-             {lease::BehaviorType::Normal, lease::BehaviorType::FrequentAsk,
-              lease::BehaviorType::LongHolding,
-              lease::BehaviorType::LowUtility,
-              lease::BehaviorType::ExcessiveUse}) {
-            std::uint64_t n = mgr.behaviorCount(b);
-            if (n > 0) result.behaviorCounts[b] = n;
-        }
-    }
-
-    result.probes.reserve(spec.probes.size());
-    for (const auto &[name, fn] : spec.probes)
-        result.probes.emplace_back(name, fn(device));
-
-    telemetry.finish(spec, result);
-    return result;
+    // Single-shot execution is just a one-slice session. ShardedRunner
+    // drives the same class slice by slice, which is why the two agree
+    // bit-for-bit (see tests/test_sharded_runner.cc).
+    ScenarioSession session(spec, config);
+    session.advanceTo(spec.duration);
+    return session.finish();
 }
 
 std::uint64_t

@@ -108,6 +108,29 @@ struct RunSpec {
      */
     std::string flightRecordDir;
 
+    /**
+     * Checkpointing (DESIGN.md §11). When checkpointEvery is non-zero,
+     * the run emits a device snapshot at every multiple of that interval
+     * (k·every ≤ duration, k ≥ 1); each snapshot's {time, size, digest}
+     * lands in RunResult::checkpoints, and the blob itself is written to
+     * checkpointDir when that is non-empty. The emission instants depend
+     * only on the spec — never on shard count or job count — which is
+     * what makes the digests comparable across execution slicings (the
+     * CI sharded-determinism gate diffs exactly these).
+     */
+    sim::Time checkpointEvery;
+    std::string checkpointDir;
+
+    /**
+     * Time slices for ShardedRunner: the run is cut at shard boundaries
+     * (i·duration/shards) and each slice is scheduled independently, so
+     * one long scenario pipelines across workers. runScenario() and
+     * ParallelRunner ignore this field — a single-shot run of the same
+     * spec is the equivalence baseline the sharded path is checked
+     * against.
+     */
+    int shards = 1;
+
     // ---- Fluent helpers (keep spec lists declarative) -------------------
 
     RunSpec &
@@ -189,6 +212,19 @@ struct RunSpec {
         flightRecordDir = std::move(dir);
         return *this;
     }
+    RunSpec &
+    withCheckpoints(sim::Time every, std::string dir = {})
+    {
+        checkpointEvery = every;
+        checkpointDir = std::move(dir);
+        return *this;
+    }
+    RunSpec &
+    withShards(int n)
+    {
+        shards = n;
+        return *this;
+    }
 };
 
 /** Outcome of one scenario run. Field-wise comparable for determinism
@@ -223,6 +259,22 @@ struct RunResult {
     /** Trace-ring accounting (zero unless RunSpec::tracePath was set). */
     std::uint64_t traceEventsRetained = 0;
     std::uint64_t traceEventsEmitted = 0;
+
+    /** One emitted device snapshot (RunSpec::checkpointEvery). */
+    struct CheckpointStat {
+        std::int64_t timeNanos = 0;   ///< sim time of the boundary
+        std::uint64_t sizeBytes = 0;  ///< framed blob size
+        std::uint64_t digest = 0;     ///< FNV-1a 64 over the payload
+        friend bool operator==(const CheckpointStat &,
+                               const CheckpointStat &) = default;
+    };
+
+    /**
+     * Snapshots emitted during the run, in time order. Equal across job
+     * counts and shard counts for the same spec — the byte-level
+     * determinism signal the sharded CI gate keys on.
+     */
+    std::vector<CheckpointStat> checkpoints;
 
     /** Probe value by name; throws std::out_of_range if absent. */
     double probe(const std::string &probeName) const;

@@ -1,0 +1,156 @@
+#include "harness/sharded_runner.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "harness/scenario_session.h"
+
+namespace leaseos::harness {
+
+std::vector<sim::Time>
+shardBounds(sim::Time duration, int shards)
+{
+    if (shards < 1) shards = 1;
+    std::vector<sim::Time> bounds;
+    bounds.reserve(static_cast<std::size_t>(shards));
+    for (int i = 1; i <= shards; ++i) {
+        // i·d/n in integer nanos: monotone, exact endpoint, and safe
+        // from overflow for any plausible duration · shard product.
+        std::int64_t at = duration.nanos() / shards * i +
+                          duration.nanos() % shards * i / shards;
+        bounds.push_back(sim::Time::fromNanos(at));
+    }
+    bounds.back() = duration;
+    return bounds;
+}
+
+ShardedRunner::ShardedRunner(RunnerOptions options)
+    : options_(options)
+{
+    jobs_ = options.jobs > 0 ? options.jobs : ParallelRunner::defaultJobs();
+}
+
+namespace {
+
+/** One spec's execution state, migrating between workers. */
+struct Session {
+    std::size_t specIndex = 0;
+    const RunSpec *spec = nullptr;
+    DeviceConfig config;
+    std::vector<sim::Time> bounds;
+    std::size_t nextSlice = 0;
+    /** Live between first claim and last slice; bound to no thread
+     *  while the session sits in the ready queue. */
+    std::unique_ptr<ScenarioSession> scenario;
+};
+
+} // namespace
+
+std::vector<RunResult>
+ShardedRunner::run(const std::vector<RunSpec> &specs,
+                   const std::function<void(const RunResult &)> &onResult)
+    const
+{
+    std::vector<RunResult> results(specs.size());
+    if (specs.empty()) return results;
+
+    std::vector<Session> sessions(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        Session &s = sessions[i];
+        s.specIndex = i;
+        s.spec = &specs[i];
+        s.config = specs[i].config;
+        if (options_.baseSeed)
+            s.config.seed = deriveSeed(*options_.baseSeed, i);
+        s.bounds = shardBounds(specs[i].duration, specs[i].shards);
+    }
+
+    // Slice scheduler: sessions whose next slice may run sit in `ready`;
+    // workers prefer those and open a fresh session only when none is
+    // ready, bounding live devices near the pool size. A session is
+    // owned by exactly one worker at a time (it is either in `ready`,
+    // in flight, or done), so only the queue itself needs the lock.
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<Session *> ready;
+    std::size_t nextUnstarted = 0;
+    std::size_t doneCount = 0;
+    std::exception_ptr firstError;
+
+    auto finishSession = [&](Session &s, RunResult r, bool report) {
+        r.specIndex = s.specIndex;
+        std::lock_guard<std::mutex> lock(m);
+        if (report && onResult) onResult(r);
+        results[s.specIndex] = std::move(r);
+        ++doneCount;
+        cv.notify_all();
+    };
+
+    auto worker = [&] {
+        for (;;) {
+            Session *s = nullptr;
+            {
+                std::unique_lock<std::mutex> lock(m);
+                cv.wait(lock, [&] {
+                    return doneCount == sessions.size() || !ready.empty() ||
+                           nextUnstarted < sessions.size();
+                });
+                if (doneCount == sessions.size()) return;
+                if (!ready.empty()) {
+                    s = ready.front();
+                    ready.pop_front();
+                } else {
+                    s = &sessions[nextUnstarted++];
+                }
+            }
+            try {
+                if (!s->scenario) {
+                    s->scenario = std::make_unique<ScenarioSession>(
+                        *s->spec, s->config);
+                } else {
+                    s->scenario->bind();
+                }
+                s->scenario->advanceTo(s->bounds[s->nextSlice]);
+                ++s->nextSlice;
+                if (s->nextSlice == s->bounds.size()) {
+                    finishSession(*s, s->scenario->finish(), true);
+                    s->scenario.reset();
+                } else {
+                    s->scenario->unbind();
+                    std::lock_guard<std::mutex> lock(m);
+                    ready.push_back(s);
+                    cv.notify_one();
+                }
+            } catch (...) {
+                // Match ParallelRunner: record the first error, leave
+                // this spec's result default, keep draining the rest.
+                s->scenario.reset();
+                {
+                    std::lock_guard<std::mutex> lock(m);
+                    if (!firstError) firstError = std::current_exception();
+                }
+                finishSession(*s, RunResult{}, false);
+            }
+        }
+    };
+
+    int pool = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(jobs_), specs.size()));
+    if (pool <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(pool));
+        for (int t = 0; t < pool; ++t) threads.emplace_back(worker);
+        for (auto &th : threads) th.join();
+    }
+    if (firstError) std::rethrow_exception(firstError);
+    return results;
+}
+
+} // namespace leaseos::harness

@@ -45,6 +45,15 @@ class LeaseTable
 
     std::uint64_t totalCreated() const { return nextId_ - 1; }
 
+    /**
+     * Raw-field serialization, embedded in the manager's "leases"
+     * section (DESIGN.md §11). Each lease's pendingEvent handle is NOT
+     * captured — the manager re-arms term/deferral expiries from the
+     * recomputable deadlines on restore.
+     */
+    void saveState(sim::CheckpointWriter &w) const;
+    void restoreState(sim::CheckpointReader &r);
+
   private:
     std::map<LeaseId, std::unique_ptr<Lease>> leases_;
     std::map<os::TokenId, LeaseId> byToken_;

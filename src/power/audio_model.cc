@@ -1,5 +1,27 @@
 #include "power/audio_model.h"
 
-// AudioModel is header-only; this TU anchors the module in the build.
+#include "power/checkpoint_io.h"
+
 namespace leaseos::power {
+
+void
+AudioModel::saveState(sim::CheckpointWriter &w) const
+{
+    w.beginSection("audio", 1);
+    w.u64(players_.size());
+    for (Uid u : players_) w.u32(static_cast<std::uint32_t>(u));
+    w.endSection();
+}
+
+void
+AudioModel::restoreState(sim::CheckpointReader &r)
+{
+    sim::requireSectionVersion("audio", r.beginSection("audio"), 1);
+    players_.clear();
+    std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i)
+        players_.insert(static_cast<Uid>(r.u32()));
+    r.endSection();
+}
+
 } // namespace leaseos::power

@@ -1,5 +1,23 @@
 #include "power/battery.h"
 
-// Battery is header-only; this TU anchors the module in the build.
+#include "sim/checkpoint.h"
+
 namespace leaseos::power {
+
+void
+Battery::saveState(sim::CheckpointWriter &w) const
+{
+    w.beginSection("battery", 1);
+    w.f64(baseMj_);
+    w.endSection();
+}
+
+void
+Battery::restoreState(sim::CheckpointReader &r)
+{
+    sim::requireSectionVersion("battery", r.beginSection("battery"), 1);
+    baseMj_ = r.f64();
+    r.endSection();
+}
+
 } // namespace leaseos::power

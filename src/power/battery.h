@@ -66,6 +66,10 @@ class Battery
         baseMj_ = accountant_.totalEnergyMj();
     }
 
+    /** Serialize the recharge baseline as a "battery" section. */
+    void saveState(sim::CheckpointWriter &w) const;
+    void restoreState(sim::CheckpointReader &r);
+
   private:
     EnergyAccountant &accountant_;
     double capacityMj_;

@@ -1,5 +1,27 @@
 #include "power/bluetooth_model.h"
 
-// BluetoothModel is header-only; this TU anchors the module.
+#include "power/checkpoint_io.h"
+
 namespace leaseos::power {
+
+void
+BluetoothModel::saveState(sim::CheckpointWriter &w) const
+{
+    w.beginSection("bt", 1);
+    ckpt::writeUids(w, owners_);
+    w.time(lastAdvance_);
+    ckpt::writeUidDoubleMap(w, scanSeconds_);
+    w.endSection();
+}
+
+void
+BluetoothModel::restoreState(sim::CheckpointReader &r)
+{
+    sim::requireSectionVersion("bt", r.beginSection("bt"), 1);
+    owners_ = ckpt::readUids(r);
+    lastAdvance_ = r.time();
+    scanSeconds_ = ckpt::readUidDoubleMap(r);
+    r.endSection();
+}
+
 } // namespace leaseos::power

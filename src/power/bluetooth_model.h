@@ -90,6 +90,11 @@ class BluetoothModel : public PowerComponent
     sim::Time lastAdvance_;
     // leaselint: allow(flat-map-hotpath) -- per-run stat, read at teardown
     std::map<Uid, double> scanSeconds_;
+
+  public:
+    /** Serialize scan state as a "bt" section (DESIGN.md §11). */
+    void saveState(sim::CheckpointWriter &w) const;
+    void restoreState(sim::CheckpointReader &r);
 };
 
 } // namespace leaseos::power

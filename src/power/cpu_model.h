@@ -131,6 +131,22 @@ class CpuModel : public PowerComponent
     /** Total time asleep, in seconds. */
     double asleepSeconds();
 
+    /**
+     * Serialize wake sources, tasks, DVFS, and the per-uid integrals as
+     * a "cpu" section (DESIGN.md §11). Always succeeds; parked wake
+     * waiters are counted but not captured (they are closures).
+     */
+    void saveState(sim::CheckpointWriter &w) const;
+
+    /**
+     * Restore state saved by saveState(). Throws CheckpointError when
+     * the blob carries in-flight work (running tasks whose end events
+     * are closures) or parked wake waiters — restore-from-blob requires
+     * a quiescent boundary; the sharded runner never needs one because
+     * it hands live devices between workers instead.
+     */
+    void restoreState(sim::CheckpointReader &r);
+
   private:
     struct Task {
         Uid uid;

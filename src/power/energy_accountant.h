@@ -134,6 +134,23 @@ class EnergyAccountant
     /** All uids that ever drew power (sorted, for report iteration). */
     std::vector<Uid> knownUids() const;
 
+    /**
+     * Serialize the raw integrals, uid-slot table, and current shares as
+     * an "energy" section (DESIGN.md §11). Deliberately does NOT sync()
+     * first: splitting an integration interval changes floating-point
+     * sums, so a checkpoint must capture the integrals exactly as the
+     * running device holds them.
+     */
+    void saveState(sim::CheckpointWriter &w) const;
+
+    /**
+     * Restore integrals saved by saveState() onto an accountant whose
+     * channels were created in the same order with the same names
+     * (i.e. an identically configured device); throws CheckpointError
+     * on any mismatch.
+     */
+    void restoreState(sim::CheckpointReader &r);
+
   private:
     /** One attribution entry; the uid's dense slot is cached at set time. */
     struct Share {

@@ -1,5 +1,7 @@
 #include "power/gps_model.h"
 
+#include "power/checkpoint_io.h"
+
 #include <utility>
 
 namespace leaseos::power {
@@ -128,6 +130,44 @@ GpsModel::trackSeconds(Uid uid)
     advance();
     auto it = trackSeconds_.find(uid);
     return it == trackSeconds_.end() ? 0.0 : it->second;
+}
+
+
+void
+GpsModel::saveState(sim::CheckpointWriter &w) const
+{
+    w.beginSection("gps", 1);
+    w.u8(static_cast<std::uint8_t>(state_));
+    w.u8(signalGood_ ? 1 : 0);
+    bool fixPending =
+        fixEvent_ != sim::kInvalidEventId && sim_.pending(fixEvent_);
+    w.u8(fixPending ? 1 : 0);
+    ckpt::writeUids(w, owners_);
+    w.time(fixAcquireDelay_);
+    w.time(lastAdvance_);
+    ckpt::writeUidDoubleMap(w, searchSeconds_);
+    ckpt::writeUidDoubleMap(w, trackSeconds_);
+    w.endSection();
+}
+
+void
+GpsModel::restoreState(sim::CheckpointReader &r)
+{
+    sim::requireSectionVersion("gps", r.beginSection("gps"), 1);
+    state_ = static_cast<State>(r.u8());
+    signalGood_ = r.u8() != 0;
+    bool fixPending = r.u8() != 0;
+    if (fixPending)
+        throw sim::CheckpointError(
+            "gps checkpoint taken mid-fix-acquisition; restore requires "
+            "a quiescent boundary");
+    owners_ = ckpt::readUids(r);
+    fixAcquireDelay_ = r.time();
+    lastAdvance_ = r.time();
+    searchSeconds_ = ckpt::readUidDoubleMap(r);
+    trackSeconds_ = ckpt::readUidDoubleMap(r);
+    fixEvent_ = sim::kInvalidEventId;
+    r.endSection();
 }
 
 } // namespace leaseos::power

@@ -59,6 +59,21 @@ class PowerProfiler
 
     sim::Time period() const { return period_; }
 
+    /**
+     * Serialize the sampled series and interval baselines as a
+     * "profiler" section (DESIGN.md §11). Checkpoints must be taken at a
+     * multiple of the sampling period so the due tick has already fired.
+     */
+    void saveState(sim::CheckpointWriter &w) const;
+
+    /**
+     * Restore onto a profiler watching the same uids; when the saved
+     * profiler was running, the sampling loop is re-armed one period
+     * from the (restored) current time — exactly where the original's
+     * next tick sat.
+     */
+    void restoreState(sim::CheckpointReader &r);
+
   private:
     void sample();
 

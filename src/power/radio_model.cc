@@ -1,5 +1,7 @@
 #include "power/radio_model.h"
 
+#include "power/checkpoint_io.h"
+
 #include <algorithm>
 #include <utility>
 
@@ -127,6 +129,39 @@ RadioModel::wifiActiveSeconds(Uid uid)
     advance();
     auto it = wifiActiveSeconds_.find(uid);
     return it == wifiActiveSeconds_.end() ? 0.0 : it->second;
+}
+
+
+void
+RadioModel::saveState(sim::CheckpointWriter &w) const
+{
+    w.beginSection("radio", 1);
+    ckpt::writeUids(w, wifiLockOwners_);
+    w.i64(wifiActive_);
+    ckpt::writeUids(w, wifiActiveUids_);
+    w.i64(cellActive_);
+    ckpt::writeUids(w, cellActiveUids_);
+    w.time(lastAdvance_);
+    ckpt::writeUidDoubleMap(w, wifiLockSeconds_);
+    ckpt::writeUidIntMap(w, wifiActiveCount_);
+    ckpt::writeUidDoubleMap(w, wifiActiveSeconds_);
+    w.endSection();
+}
+
+void
+RadioModel::restoreState(sim::CheckpointReader &r)
+{
+    sim::requireSectionVersion("radio", r.beginSection("radio"), 1);
+    wifiLockOwners_ = ckpt::readUids(r);
+    wifiActive_ = static_cast<int>(r.i64());
+    wifiActiveUids_ = ckpt::readUids(r);
+    cellActive_ = static_cast<int>(r.i64());
+    cellActiveUids_ = ckpt::readUids(r);
+    lastAdvance_ = r.time();
+    wifiLockSeconds_ = ckpt::readUidDoubleMap(r);
+    wifiActiveCount_ = ckpt::readUidIntMap(r);
+    wifiActiveSeconds_ = ckpt::readUidDoubleMap(r);
+    r.endSection();
 }
 
 } // namespace leaseos::power

@@ -53,6 +53,10 @@ class RadioModel : public PowerComponent
 
     sim::Time transferCell(Uid uid, std::uint64_t bytes);
 
+    /** Serialize radio state as a "radio" section (DESIGN.md §11). */
+    void saveState(sim::CheckpointWriter &w) const;
+    void restoreState(sim::CheckpointReader &r);
+
   private:
     void advance();
     void updateWifiPower();

@@ -1,5 +1,27 @@
 #include "power/screen_model.h"
 
-// ScreenModel is header-only; this TU anchors the module in the build.
+#include "power/checkpoint_io.h"
+
 namespace leaseos::power {
+
+void
+ScreenModel::saveState(sim::CheckpointWriter &w) const
+{
+    w.beginSection("screen", 1);
+    w.u8(on_ ? 1 : 0);
+    w.f64(brightness_);
+    ckpt::writeUids(w, owners_);
+    w.endSection();
+}
+
+void
+ScreenModel::restoreState(sim::CheckpointReader &r)
+{
+    sim::requireSectionVersion("screen", r.beginSection("screen"), 1);
+    on_ = r.u8() != 0;
+    brightness_ = r.f64();
+    owners_ = ckpt::readUids(r);
+    r.endSection();
+}
+
 } // namespace leaseos::power

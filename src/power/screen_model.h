@@ -56,6 +56,10 @@ class ScreenModel : public PowerComponent
     bool isOn() const { return on_; }
     double brightness() const { return brightness_; }
 
+    /** Serialize panel state as a "screen" section (DESIGN.md §11). */
+    void saveState(sim::CheckpointWriter &w) const;
+    void restoreState(sim::CheckpointReader &r);
+
   private:
     void
     update()

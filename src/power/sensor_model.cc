@@ -1,5 +1,7 @@
 #include "power/sensor_model.h"
 
+#include "power/checkpoint_io.h"
+
 #include <algorithm>
 
 namespace leaseos::power {
@@ -107,6 +109,36 @@ SensorModel::users(SensorType type) const
     std::vector<Uid> uids;
     for (const auto &[uid, count] : usersFor(type)) uids.push_back(uid);
     return uids;
+}
+
+
+void
+SensorModel::saveState(sim::CheckpointWriter &w) const
+{
+    w.beginSection("sensors", 1);
+    for (const UserList &users : uses_) {
+        w.u64(users.size());
+        for (std::size_t i = 0; i < users.size(); ++i) {
+            w.u32(static_cast<std::uint32_t>(users[i].first));
+            w.i64(users[i].second);
+        }
+    }
+    w.endSection();
+}
+
+void
+SensorModel::restoreState(sim::CheckpointReader &r)
+{
+    sim::requireSectionVersion("sensors", r.beginSection("sensors"), 1);
+    for (UserList &users : uses_) {
+        users.clear();
+        std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Uid uid = static_cast<Uid>(r.u32());
+            users.push_back({uid, static_cast<int>(r.i64())});
+        }
+    }
+    r.endSection();
 }
 
 } // namespace leaseos::power

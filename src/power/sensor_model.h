@@ -45,6 +45,10 @@ class SensorModel : public PowerComponent
     /** Power draw of one sensor type from the device profile. */
     double sensorMw(SensorType type) const;
 
+    /** Serialize registrations as a "sensors" section (DESIGN.md §11). */
+    void saveState(sim::CheckpointWriter &w) const;
+    void restoreState(sim::CheckpointReader &r);
+
   private:
     /** Registered (uid, count) pairs kept sorted by uid. */
     using UserList = common::InlineVec<std::pair<Uid, int>, 4>;

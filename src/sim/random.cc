@@ -1,6 +1,36 @@
 #include "sim/random.h"
 
-// RandomSource is header-only today; this translation unit anchors the
-// module so the build exposes a stable place for future out-of-line code.
+#include <locale>
+#include <sstream>
+
+#include "sim/checkpoint.h"
+
 namespace leaseos::sim {
+
+void
+RandomSource::saveState(CheckpointWriter &w) const
+{
+    // The standard guarantees operator<< writes the engine's full state
+    // as decimal integers; pinning the classic locale makes the text (and
+    // with it the blob bytes) identical on every host.
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    os << rng_;
+    w.beginSection("rng", 1);
+    w.str(os.str());
+    w.endSection();
+}
+
+void
+RandomSource::restoreState(CheckpointReader &r)
+{
+    requireSectionVersion("rng", r.beginSection("rng"), 1);
+    std::istringstream is(r.str());
+    is.imbue(std::locale::classic());
+    is >> rng_;
+    r.endSection();
+    if (is.fail())
+        throw CheckpointError("rng section does not decode as mt19937_64");
+}
+
 } // namespace leaseos::sim

@@ -23,6 +23,9 @@
 
 namespace leaseos::sim {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /**
  * Seeded pseudo-random generator with simulation-friendly helpers.
  */
@@ -81,6 +84,16 @@ class RandomSource
 
     /** Underlying engine, for use with std distributions/algorithms. */
     std::mt19937_64 &engine() { return rng_; }
+
+    /**
+     * Serialize the engine's exact position in its stream as an "rng"
+     * section (DESIGN.md §11), via the standard mt19937_64 stream
+     * representation under the classic locale.
+     */
+    void saveState(CheckpointWriter &w) const;
+
+    /** Restore a stream position saved by saveState(). */
+    void restoreState(CheckpointReader &r);
 
   private:
     std::mt19937_64 rng_;

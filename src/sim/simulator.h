@@ -159,6 +159,20 @@ class Simulator
     /** Total events executed so far. */
     std::uint64_t executedEvents() const { return executed_; }
 
+    /**
+     * Serialize the clock and event counters as a "sim" section
+     * (DESIGN.md §11). Pending events are deliberately not captured —
+     * see EventQueue::saveState.
+     */
+    void saveState(CheckpointWriter &w) const;
+
+    /**
+     * Restore the clock onto a fresh simulator (empty queue required).
+     * After this, now() reports the checkpoint time and newly scheduled
+     * events run at their absolute deadlines.
+     */
+    void restoreState(CheckpointReader &r);
+
   private:
     EventQueue queue_;
     Time now_;

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "sim/checkpoint.h"
+
 namespace leaseos::sim {
 
 void
@@ -42,6 +44,28 @@ Accumulator::reset()
 {
     n_ = 0;
     mean_ = m2_ = sum_ = min_ = max_ = 0.0;
+}
+
+void
+Accumulator::saveState(CheckpointWriter &w) const
+{
+    w.u64(n_);
+    w.f64(mean_);
+    w.f64(m2_);
+    w.f64(sum_);
+    w.f64(min_);
+    w.f64(max_);
+}
+
+void
+Accumulator::restoreState(CheckpointReader &r)
+{
+    n_ = r.u64();
+    mean_ = r.f64();
+    m2_ = r.f64();
+    sum_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)

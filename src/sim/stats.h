@@ -16,6 +16,9 @@
 
 namespace leaseos::sim {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /**
  * Monotonic counter with checkpoint support.
  *
@@ -61,6 +64,10 @@ class Accumulator
     double stddev() const;
 
     void reset();
+
+    /** Raw-field serialization (embedded in the owner's section). */
+    void saveState(CheckpointWriter &w) const;
+    void restoreState(CheckpointReader &r);
 
   private:
     std::uint64_t n_ = 0;

@@ -5,7 +5,32 @@
 #include <map>
 #include <sstream>
 
+#include "sim/checkpoint.h"
+
 namespace leaseos::sim {
+
+void
+TimeSeries::saveState(CheckpointWriter &w) const
+{
+    w.u64(points_.size());
+    for (const auto &p : points_) {
+        w.time(p.t);
+        w.f64(p.value);
+    }
+}
+
+void
+TimeSeries::restoreState(CheckpointReader &r)
+{
+    std::uint64_t n = r.u64();
+    points_.clear();
+    points_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Time t = r.time();
+        double v = r.f64();
+        points_.push_back({t, v});
+    }
+}
 
 double
 TimeSeries::sum() const

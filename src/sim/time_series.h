@@ -19,6 +19,9 @@
 
 namespace leaseos::sim {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /**
  * Ordered sequence of (timestamp, value) samples.
  */
@@ -49,6 +52,10 @@ class TimeSeries
 
     /** CSV rendering: "t_seconds,value" lines. */
     std::string toCsv() const;
+
+    /** Raw-point serialization (embedded in the owner's section). */
+    void saveState(CheckpointWriter &w) const;
+    void restoreState(CheckpointReader &r);
 
   private:
     std::string name_;

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Whole-device checkpoint tests (DESIGN.md §11).
+ *
+ * Exercises Device::saveCheckpoint()/restoreCheckpoint() end to end with
+ * the checkpointable SnapshotProbeApp: blobs are deterministic, a
+ * restored device evolves bit-identically to the uninterrupted original,
+ * and every refusal in the restore contract (wrong config, wrong app
+ * set, non-checkpointable apps, unknown section versions) surfaces as a
+ * catchable sim::CheckpointError — never an abort.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/synthetic/snapshot_probe.h"
+#include "harness/device.h"
+#include "sim/checkpoint.h"
+
+namespace leaseos::harness {
+namespace {
+
+DeviceConfig
+probeConfig()
+{
+    // Mode None: the probe touches no resources, so the vanilla device is
+    // the composed round-trip fixture the restore contract targets.
+    return DeviceConfig{}.withMode(MitigationMode::None).withSeed(0xabc);
+}
+
+TEST(DeviceCheckpointTest, BlobsAreDeterministic)
+{
+    auto runOne = [] {
+        Device dev(probeConfig());
+        dev.install<apps::SnapshotProbeApp>();
+        dev.start();
+        dev.runFor(sim::Time::fromSeconds(10.0));
+        return dev.saveCheckpoint();
+    };
+    std::vector<std::uint8_t> a = runOne();
+    std::vector<std::uint8_t> b = runOne();
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "equal device state must yield byte-identical blobs";
+}
+
+TEST(DeviceCheckpointTest, RestoredDeviceEvolvesBitIdentically)
+{
+    // Original: run 10 s, snapshot, keep running to 60 s.
+    Device original(probeConfig());
+    auto &probeA = original.install<apps::SnapshotProbeApp>();
+    original.start();
+    original.runFor(sim::Time::fromSeconds(10.0));
+    std::vector<std::uint8_t> blob = original.saveCheckpoint();
+    original.runFor(sim::Time::fromSeconds(50.0));
+
+    // Restored peer: same config, same install sequence, state from blob.
+    Device restored(probeConfig());
+    auto &probeB = restored.install<apps::SnapshotProbeApp>();
+    restored.restoreCheckpoint(blob);
+    EXPECT_EQ(restored.simulator().now(), sim::Time::fromSeconds(10.0));
+    restored.start(); // must be a no-op: the blob device was running
+    restored.runFor(sim::Time::fromSeconds(50.0));
+
+    EXPECT_EQ(probeA.ticks(), probeB.ticks());
+    EXPECT_EQ(probeA.nextDueAt(), probeB.nextDueAt());
+    EXPECT_EQ(original.simulator().executedEvents(),
+              restored.simulator().executedEvents());
+    // The strongest form: both timelines serialize to the same bytes.
+    EXPECT_EQ(original.saveCheckpoint(), restored.saveCheckpoint());
+}
+
+TEST(DeviceCheckpointTest, RestoreRejectsMismatchedDevice)
+{
+    Device source(probeConfig());
+    source.install<apps::SnapshotProbeApp>();
+    source.start();
+    source.runFor(sim::Time::fromSeconds(5.0));
+    std::vector<std::uint8_t> blob = source.saveCheckpoint();
+
+    {
+        // Different mitigation mode.
+        Device target(probeConfig().withMode(MitigationMode::Doze));
+        target.install<apps::SnapshotProbeApp>();
+        EXPECT_THROW(target.restoreCheckpoint(blob), sim::CheckpointError);
+    }
+    {
+        // Different profiler period.
+        Device target(probeConfig().withProfilerPeriod(
+            sim::Time::fromMillis(200)));
+        target.install<apps::SnapshotProbeApp>();
+        EXPECT_THROW(target.restoreCheckpoint(blob), sim::CheckpointError);
+    }
+    {
+        // Different app count.
+        Device target(probeConfig());
+        target.install<apps::SnapshotProbeApp>();
+        target.install<apps::SnapshotProbeApp>();
+        EXPECT_THROW(target.restoreCheckpoint(blob), sim::CheckpointError);
+    }
+    {
+        // Different app period: the probe validates its own section.
+        Device target(probeConfig());
+        target.install<apps::SnapshotProbeApp>(sim::Time::fromMillis(500));
+        EXPECT_THROW(target.restoreCheckpoint(blob), sim::CheckpointError);
+    }
+}
+
+TEST(DeviceCheckpointTest, RestoreRejectsNonCheckpointableApps)
+{
+    // A closure-driven app (checkpointable() == false): its blob is still
+    // valid for digests and triage, but cannot be restored — only live
+    // handoff preserves pending closures.
+    class InertApp : public app::App
+    {
+      public:
+        InertApp(app::AppContext &ctx, Uid uid) : App(ctx, uid, "Inert") {}
+        void start() override {}
+    };
+
+    Device source(probeConfig());
+    source.install<InertApp>();
+    source.start();
+    source.runFor(sim::Time::fromSeconds(5.0));
+    std::vector<std::uint8_t> blob = source.saveCheckpoint();
+    ASSERT_FALSE(blob.empty());
+
+    Device target(probeConfig());
+    target.install<InertApp>();
+    EXPECT_THROW(target.restoreCheckpoint(blob), sim::CheckpointError);
+}
+
+TEST(DeviceCheckpointTest, VersionMismatchedBlobRejectedWithoutAbort)
+{
+    // A frame whose "meta" section claims a version this build does not
+    // understand must be refused via CheckpointError (EXPECT_DEATH-free:
+    // version skew is an operational condition, not a programming error).
+    sim::CheckpointWriter w;
+    w.beginSection("meta", 99);
+    w.u8(0);
+    w.endSection();
+    std::vector<std::uint8_t> blob = w.finish();
+
+    Device target(probeConfig());
+    try {
+        target.restoreCheckpoint(blob);
+        FAIL() << "expected sim::CheckpointError";
+    } catch (const sim::CheckpointError &e) {
+        EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+    }
+}
+
+TEST(DeviceCheckpointTest, LeaseOsModeBlobRoundTripsThroughSave)
+{
+    // LeaseOS mode adds the "leases" section; with only probes installed
+    // the table is empty but the manager's counters and policy-driven
+    // sections still have to round-trip byte-for-byte.
+    DeviceConfig config =
+        DeviceConfig{}.withMode(MitigationMode::LeaseOS).withSeed(0xabc);
+    Device original(config);
+    original.install<apps::SnapshotProbeApp>();
+    original.start();
+    original.runFor(sim::Time::fromSeconds(10.0));
+    std::vector<std::uint8_t> blob = original.saveCheckpoint();
+    original.runFor(sim::Time::fromSeconds(20.0));
+
+    Device restored(config);
+    restored.install<apps::SnapshotProbeApp>();
+    restored.restoreCheckpoint(blob);
+    restored.runFor(sim::Time::fromSeconds(20.0));
+
+    EXPECT_EQ(original.saveCheckpoint(), restored.saveCheckpoint());
+}
+
+} // namespace
+} // namespace leaseos::harness

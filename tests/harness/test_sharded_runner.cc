@@ -1,0 +1,167 @@
+/**
+ * @file
+ * ShardedRunner equivalence tests (DESIGN.md §11).
+ *
+ * The sharded runner's whole contract is "same answer, different
+ * wall-clock shape": cutting a scenario into K time slices, migrating
+ * the live device between workers at each boundary, must be
+ * *bit-identical* to the single-shot run — including the checkpoint
+ * digests emitted along the way. These tests pin that equivalence for
+ * real Table-5 cells, across shard counts and job counts, plus the
+ * shardBounds partition arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/registry.h"
+#include "harness/experiment.h"
+#include "harness/runner.h"
+#include "harness/sharded_runner.h"
+
+namespace leaseos::harness {
+namespace {
+
+/** Two Table-5 cells (vanilla + LeaseOS torch), 10 min, 4 checkpoints. */
+std::vector<RunSpec>
+cellSpecs(int shards)
+{
+    MitigationRunOptions opt;
+    opt.duration = sim::Time::fromMinutes(10.0);
+    std::vector<RunSpec> specs;
+    for (MitigationMode mode :
+         {MitigationMode::None, MitigationMode::LeaseOS}) {
+        RunSpec spec = mitigationCellSpec(apps::buggySpec("torch"), mode, opt);
+        spec.withCheckpoints(sim::Time::fromNanos(spec.duration.nanos() / 4))
+            .withShards(shards);
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+TEST(ShardBoundsTest, PartitionsExactly)
+{
+    // Non-divisible duration: bounds are strictly increasing and land
+    // exactly on the duration with no rounding residue.
+    sim::Time d = sim::Time::fromNanos(1000000007);
+    auto bounds = shardBounds(d, 7);
+    ASSERT_EQ(bounds.size(), 7u);
+    sim::Time prev = sim::Time::fromNanos(0);
+    for (sim::Time b : bounds) {
+        EXPECT_GT(b, prev);
+        prev = b;
+    }
+    EXPECT_EQ(bounds.back(), d);
+
+    auto one = shardBounds(d, 1);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], d);
+
+    // More shards than nanoseconds would produce empty slices but must
+    // still end exactly at the duration.
+    auto tiny = shardBounds(sim::Time::fromNanos(3), 8);
+    EXPECT_EQ(tiny.back(), sim::Time::fromNanos(3));
+}
+
+TEST(ShardedRunnerTest, BitIdenticalToSingleShot)
+{
+    // Baseline: single-shot runScenario, no slicing machinery.
+    std::vector<RunSpec> specs = cellSpecs(/*shards=*/4);
+    std::vector<RunResult> expected;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        expected.push_back(runScenario(specs[i]));
+        expected.back().specIndex = i;
+    }
+    ASSERT_EQ(expected[0].checkpoints.size(), 4u);
+
+    RunnerOptions options;
+    options.jobs = 2;
+    ShardedRunner runner(options);
+    std::vector<RunResult> sharded = runner.run(specs);
+
+    ASSERT_EQ(sharded.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(sharded[i], expected[i]) << specs[i].name;
+}
+
+TEST(ShardedRunnerTest, JobCountDoesNotChangeResults)
+{
+    // The device-migration schedule differs wildly between jobs=1 and
+    // jobs=8; the results (and checkpoint digests) must not.
+    std::vector<RunSpec> specs = cellSpecs(/*shards=*/5);
+
+    RunnerOptions serial;
+    serial.jobs = 1;
+    std::vector<RunResult> a = ShardedRunner(serial).run(specs);
+
+    RunnerOptions wide;
+    wide.jobs = 8;
+    std::vector<RunResult> b = ShardedRunner(wide).run(specs);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].specIndex, i);
+        EXPECT_EQ(a[i], b[i]) << specs[i].name;
+    }
+}
+
+TEST(ShardedRunnerTest, ResultsStayInSpecOrderWithDerivedSeeds)
+{
+    // Mirror of ParallelRunner's ordering contract: per-spec derived
+    // seeds and spec-order collection are scheduling-independent, so the
+    // half-vanilla/half-LeaseOS device-index pinning in bench_fleet
+    // cannot be reordered by --jobs.
+    std::vector<RunSpec> specs;
+    for (int i = 0; i < 6; ++i) {
+        MitigationRunOptions opt;
+        opt.duration = sim::Time::fromMinutes(2.0);
+        specs.push_back(mitigationCellSpec(
+            apps::buggySpec("torch"),
+            i % 2 == 0 ? MitigationMode::None : MitigationMode::LeaseOS,
+            opt));
+        specs.back().withName("dev" + std::to_string(i)).withShards(3);
+    }
+
+    RunnerOptions options;
+    options.jobs = 4;
+    options.baseSeed = 0x5eedULL;
+    ShardedRunner sharded(options);
+    ParallelRunner parallel(options);
+
+    std::size_t reported = 0;
+    std::vector<RunResult> a =
+        sharded.run(specs, [&reported](const RunResult &) { ++reported; });
+    std::vector<RunResult> b = parallel.run(specs);
+    EXPECT_EQ(reported, specs.size());
+
+    ASSERT_EQ(a.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(a[i].name, "dev" + std::to_string(i));
+        EXPECT_EQ(a[i].specIndex, i);
+        EXPECT_EQ(a[i].seed, deriveSeed(0x5eedULL, i));
+        EXPECT_EQ(a[i], b[i]) << "sharded vs parallel, spec " << i;
+    }
+}
+
+TEST(ShardedRunnerTest, CheckpointInstantsIndependentOfSlicing)
+{
+    // 3 shards with 4 checkpoints: boundaries and emission instants
+    // interleave without double-emitting or skipping.
+    std::vector<RunSpec> s3 = cellSpecs(/*shards=*/3);
+    std::vector<RunSpec> s8 = cellSpecs(/*shards=*/8);
+
+    RunnerOptions options;
+    options.jobs = 2;
+    std::vector<RunResult> a = ShardedRunner(options).run(s3);
+    std::vector<RunResult> b = ShardedRunner(options).run(s8);
+
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].checkpoints.size(), 4u);
+        EXPECT_EQ(a[i].checkpoints, b[i].checkpoints)
+            << "checkpoint stream depends on slicing for " << s3[i].name;
+    }
+}
+
+} // namespace
+} // namespace leaseos::harness

@@ -1,0 +1,28 @@
+// Fixture: the clean counterpart of unordered_save.cc — serialization
+// walks an ordered std::map plus an install-order vector, so blob bytes
+// are a pure function of state. Display path src/power/fix/ordered_save.cc.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace fix {
+
+struct CheckpointWriter;
+
+struct ShareTable {
+    std::map<std::int32_t, double> mwByUid;
+    std::vector<std::int32_t> uidsInInstallOrder;
+
+    void
+    saveState(CheckpointWriter &w) const
+    {
+        for (const auto &[uid, mw] : mwByUid) {
+            (void)uid;
+            (void)mw;
+        }
+        for (std::int32_t uid : uidsInInstallOrder) (void)uid;
+    }
+};
+
+} // namespace fix

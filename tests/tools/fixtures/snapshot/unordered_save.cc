@@ -1,0 +1,28 @@
+// Fixture: a component saveState() that serializes by iterating a
+// std::unordered_map — the canonical checkpoint hazard. Blob bytes would
+// follow hash/bucket order, which varies across libstdc++ versions and
+// ASLR, so "equal state => byte-identical blobs" (DESIGN.md §11) breaks
+// silently. Display path src/power/fix/unordered_save.cc (the
+// determinism rule only audits src/ and bench/).
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fix {
+
+struct CheckpointWriter;
+
+struct ShareTable {
+    std::unordered_map<std::int32_t, double> mwByUid; // flagged
+
+    void
+    saveState(CheckpointWriter &w) const
+    {
+        for (const auto &[uid, mw] : mwByUid) { // iteration order leaks
+            (void)uid;
+            (void)mw;
+        }
+    }
+};
+
+} // namespace fix

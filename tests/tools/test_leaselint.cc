@@ -437,6 +437,31 @@ TEST(DeterminismRule, SuppressionSilencesButCounts)
     EXPECT_EQ(report.suppressed, 1u);
 }
 
+TEST(DeterminismRule, FlagsUnorderedIterationOnSnapshotPath)
+{
+    // The checkpoint hazard (DESIGN.md §11): a saveState() that walks a
+    // std::unordered_map serializes hash order straight into blob bytes,
+    // breaking "equal state => byte-identical blobs" across hosts.
+    std::vector<SourceFile> files;
+    files.push_back(fixture("snapshot/unordered_save.cc",
+                            "src/power/fix/unordered_save.cc"));
+    LintReport report = runLint(files, {"determinism"});
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].rule, "determinism");
+    EXPECT_NE(report.findings[0].message.find("iteration order"),
+              std::string::npos);
+}
+
+TEST(DeterminismRule, OrderedSnapshotSerializationIsClean)
+{
+    std::vector<SourceFile> files;
+    files.push_back(fixture("snapshot/ordered_save.cc",
+                            "src/power/fix/ordered_save.cc"));
+    LintReport report = runLint(files, {"determinism"});
+    for (const Finding &f : report.findings)
+        ADD_FAILURE() << formatFinding(f);
+}
+
 // ---- cross-unit-pairing rule --------------------------------------------
 
 TEST(CrossUnitPairing, FlagsAcquireWithoutRelease)

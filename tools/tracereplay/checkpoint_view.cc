@@ -1,0 +1,201 @@
+#include "tracereplay/checkpoint_view.h"
+
+#include <map>
+#include <sstream>
+
+#include "sim/checkpoint.h"
+
+namespace leaseos::tracereplay {
+
+namespace {
+
+/** Consume one serialized LeaseStat (layout of lease_table.cc). */
+void
+skipStat(sim::CheckpointReader &r)
+{
+    r.time(); // termStart
+    r.time(); // termEnd
+    r.f64();  // requestSeconds
+    r.f64();  // failedRequestSeconds
+    r.f64();  // holdingSeconds
+    r.f64();  // usageSeconds
+    r.f64();  // utilityScore
+    r.u64();  // exceptions
+    r.u64();  // uiUpdates
+    r.u64();  // interactions
+    r.f64();  // distanceMeters
+    r.u64();  // acquires
+    r.u8();   // heldAtTermEnd
+}
+
+void
+decodeMeta(sim::CheckpointReader &r, CheckpointView &view)
+{
+    view.mode = r.u8();
+    view.seed = r.u64();
+    view.profile = r.str();
+    r.u8();   // dvfs
+    r.time(); // profiler period
+    view.appCount = r.u64();
+}
+
+void
+decodeSim(sim::CheckpointReader &r, CheckpointView &view)
+{
+    view.simTimeNs = r.time().nanos();
+    view.executedEvents = r.u64();
+}
+
+void
+decodeEnergy(sim::CheckpointReader &r, CheckpointView &view)
+{
+    r.time(); // lastSync
+    view.totalMj = r.f64();
+    // remainder (per-uid + per-channel breakdown) skipped by caller
+}
+
+void
+decodeLeases(sim::CheckpointReader &r, CheckpointView &view)
+{
+    view.hasLeases = true;
+    view.nextLeaseId = r.u64();
+    std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        CkptLease lease;
+        lease.id = r.u64();
+        lease.uid = static_cast<std::int32_t>(r.u32());
+        lease.rtype = r.u8();
+        lease.token = r.u64();
+        lease.state = r.u8();
+        r.time(); // createdAt
+        lease.termStartNs = r.time().nanos();
+        lease.termLengthNs = r.time().nanos();
+        lease.termIndex = r.i64();
+        r.i64(); // consecutiveNormal
+        r.i64(); // consecutiveMisbehaved
+        lease.renewals = r.u64();
+        lease.deferrals = r.u64();
+        lease.deferredAtNs = r.time().nanos();
+        r.f64(); // totalDeferralSeconds
+        std::uint64_t records = r.u64();
+        lease.historyLen = static_cast<std::size_t>(records);
+        for (std::uint64_t k = 0; k < records; ++k) {
+            skipStat(r);
+            r.u8(); // behavior
+        }
+        view.leases.push_back(lease);
+    }
+    std::uint64_t tokens = r.u64();
+    for (std::uint64_t i = 0; i < tokens; ++i) {
+        std::uint64_t token = r.u64();
+        std::uint64_t id = r.u64();
+        view.byToken.emplace_back(token, id);
+    }
+    // remainder (reputations + service counters) skipped by caller
+}
+
+} // namespace
+
+std::string
+CheckpointIssue::toString() const
+{
+    return "[" + check + "] " + detail;
+}
+
+CheckpointView
+loadCheckpointView(const std::string &path)
+{
+    CheckpointView view;
+    try {
+        std::vector<std::uint8_t> blob = sim::readCheckpointFile(path);
+        sim::CheckpointReader r(blob);
+        view.payloadBytes = blob.size();
+        while (!r.atEnd()) {
+            std::string name = r.peekSection();
+            std::uint32_t version = 0;
+            r.nextSection(version);
+            CheckpointView::Section section;
+            section.name = name;
+            section.version = version;
+            section.bodyBytes = r.sectionRemaining();
+            // Known sections decode their prefix; skipSection() then
+            // swallows whatever each decoder (or an unknown section —
+            // a newer writer must not break an older viewer) left.
+            if (name == "meta" && version == 1) decodeMeta(r, view);
+            else if (name == "sim" && version == 1) decodeSim(r, view);
+            else if (name == "energy" && version == 1)
+                decodeEnergy(r, view);
+            else if (name == "leases" && version == 1)
+                decodeLeases(r, view);
+            r.skipSection();
+            view.sections.push_back(std::move(section));
+        }
+    } catch (const sim::CheckpointError &e) {
+        view.error = e.what();
+    }
+    return view;
+}
+
+std::vector<CheckpointIssue>
+checkCheckpoint(const CheckpointView &view)
+{
+    std::vector<CheckpointIssue> issues;
+    if (!view.hasLeases) return issues;
+
+    std::map<std::uint64_t, const CkptLease *> byId;
+    for (const CkptLease &lease : view.leases) {
+        byId[lease.id] = &lease;
+        if (lease.state > 3) {
+            std::ostringstream detail;
+            detail << "lease " << lease.id << " has state value "
+                   << static_cast<int>(lease.state)
+                   << " (not a LeaseState)";
+            issues.push_back({"lease-state", detail.str()});
+            continue;
+        }
+        if (lease.id >= view.nextLeaseId) {
+            std::ostringstream detail;
+            detail << "lease " << lease.id
+                   << " >= next lease id " << view.nextLeaseId;
+            issues.push_back({"lease-id", detail.str()});
+        }
+        // A checkpoint is only emitted after the simulator drained every
+        // event at the boundary instant, so an ACTIVE lease's term-end
+        // event (armed at termStart + termLength) must still be in the
+        // future, and a DEFERRED lease's deferral must have begun.
+        if (lease.state == 0 /* Active */ &&
+            lease.termStartNs + lease.termLengthNs <= view.simTimeNs) {
+            std::ostringstream detail;
+            detail << "ACTIVE lease " << lease.id << " term ended at "
+                   << lease.termStartNs + lease.termLengthNs
+                   << "ns but the blob was taken at " << view.simTimeNs
+                   << "ns (missed term-end event)";
+            issues.push_back({"term-deadline", detail.str()});
+        }
+        if (lease.state == 2 /* Deferred */ &&
+            lease.deferredAtNs > view.simTimeNs) {
+            std::ostringstream detail;
+            detail << "DEFERRED lease " << lease.id
+                   << " was deferred in the future (" << lease.deferredAtNs
+                   << "ns > " << view.simTimeNs << "ns)";
+            issues.push_back({"deferral-deadline", detail.str()});
+        }
+    }
+    for (const auto &[token, id] : view.byToken) {
+        auto it = byId.find(id);
+        if (it == byId.end()) {
+            std::ostringstream detail;
+            detail << "token index maps token " << token
+                   << " to unknown lease " << id;
+            issues.push_back({"token-index", detail.str()});
+        } else if (it->second->token != token) {
+            std::ostringstream detail;
+            detail << "token index maps token " << token << " to lease "
+                   << id << " whose token is " << it->second->token;
+            issues.push_back({"token-index", detail.str()});
+        }
+    }
+    return issues;
+}
+
+} // namespace leaseos::tracereplay
